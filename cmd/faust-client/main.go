@@ -1,0 +1,188 @@
+// Faust-client is an interactive client for a faust-server. It keeps the
+// USTOR protocol state for one client identity and runs a small REPL:
+//
+//	write <text>   write to the own register
+//	read <j>       read register j
+//	cut            print the stability cut (requires -listen/-peers)
+//	status         print failure state
+//	quit
+//
+// Without -listen/-peers it runs the bare USTOR protocol (storage with
+// failure detection, no stability). With them it runs the full FAUST
+// stack, exchanging PROBE/VERSION/FAILURE messages with peers over TCP.
+//
+// Keys are derived from -seed (demo-grade; all parties must use the same
+// seed and -n).
+//
+// Example (three shells):
+//
+//	faust-server -addr :7440 -n 2
+//	faust-client -server localhost:7440 -n 2 -id 0 -listen :7450 -peers 1=localhost:7451
+//	faust-client -server localhost:7440 -n 2 -id 1 -listen :7451 -peers 0=localhost:7450
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"faust/internal/crypto"
+	"faust/internal/faustproto"
+	"faust/internal/offline"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+)
+
+func main() {
+	server := flag.String("server", "localhost:7440", "faust-server address")
+	n := flag.Int("n", 3, "number of clients (must match the server)")
+	id := flag.Int("id", 0, "this client's identity (0..n-1)")
+	seed := flag.Int64("seed", 42, "deterministic demo key seed (must match peers)")
+	listen := flag.String("listen", "", "offline-channel listen address (enables FAUST)")
+	peersFlag := flag.String("peers", "", "offline peers as id=host:port,id=host:port")
+	probe := flag.Duration("probe", 2*time.Second, "probe timeout (FAUST delta)")
+	flag.Parse()
+
+	if *id < 0 || *id >= *n {
+		log.Fatalf("faust-client: -id %d out of range [0,%d)", *id, *n)
+	}
+	ring, signers := crypto.NewTestKeyring(*n, *seed)
+	link, err := transport.DialTCP(*server, *id)
+	if err != nil {
+		log.Fatalf("faust-client: %v", err)
+	}
+
+	var fclient *faustproto.Client
+	var uclient *ustor.Client
+	if *listen != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("faust-client: %v", err)
+		}
+		mesh, err := offline.ListenTCP(*id, *listen, peers, time.Second)
+		if err != nil {
+			log.Fatalf("faust-client: %v", err)
+		}
+		cfg := faustproto.Config{ProbeTimeout: *probe, PollInterval: *probe / 4}
+		fclient = faustproto.NewClient(*id, ring, signers[*id], link, mesh,
+			faustproto.WithConfig(cfg),
+			faustproto.WithStableHandler(func(w []int64) {
+				fmt.Printf("\n[stable] cut=%v\n> ", w)
+			}),
+			faustproto.WithFailHandler(func(err error) {
+				fmt.Printf("\n[FAIL] server exposed: %v\n> ", err)
+			}),
+		)
+		fclient.Start()
+		defer fclient.Stop()
+		fmt.Printf("faust-client %d/%d: FAUST mode (offline channel on %s)\n", *id, *n, *listen)
+	} else {
+		uclient = ustor.NewClient(*id, ring, signers[*id], link,
+			ustor.WithFailHandler(func(err error) {
+				fmt.Printf("\n[FAIL] server exposed: %v\n> ", err)
+			}))
+		fmt.Printf("faust-client %d/%d: USTOR mode (no offline channel)\n", *id, *n)
+	}
+
+	repl(fclient, uclient)
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	peers := make(map[int]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		peers[pid] = kv[1]
+	}
+	return peers, nil
+}
+
+func repl(fc *faustproto.Client, uc *ustor.Client) {
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "write":
+			if len(fields) < 2 {
+				fmt.Println("usage: write <text>")
+				break
+			}
+			text := strings.Join(fields[1:], " ")
+			if fc != nil {
+				ts, err := fc.Write([]byte(text))
+				report(err, func() { fmt.Printf("ok, timestamp %d\n", ts) })
+			} else {
+				res, err := uc.WriteX([]byte(text))
+				report(err, func() { fmt.Printf("ok, timestamp %d\n", res.Timestamp) })
+			}
+		case "read":
+			if len(fields) != 2 {
+				fmt.Println("usage: read <register>")
+				break
+			}
+			j, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Printf("bad register: %v\n", err)
+				break
+			}
+			if fc != nil {
+				v, ts, err := fc.Read(j)
+				report(err, func() { fmt.Printf("%q (timestamp %d)\n", v, ts) })
+			} else {
+				v, err := uc.Read(j)
+				report(err, func() { fmt.Printf("%q\n", v) })
+			}
+		case "cut":
+			if fc == nil {
+				fmt.Println("stability cuts need FAUST mode (-listen/-peers)")
+				break
+			}
+			fmt.Printf("cut=%v\n", fc.StableCut())
+		case "status":
+			var failed bool
+			var reason error
+			if fc != nil {
+				failed, reason = fc.Failed()
+			} else {
+				failed, reason = uc.Failed()
+			}
+			if failed {
+				fmt.Printf("FAILED: %v\n", reason)
+			} else {
+				fmt.Println("ok (no failure detected)")
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: write <text> | read <j> | cut | status | quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+func report(err error, onOK func()) {
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	onOK()
+}

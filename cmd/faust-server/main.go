@@ -1,0 +1,50 @@
+// Faust-server hosts the USTOR storage server over TCP.
+//
+// The server is the UNTRUSTED party of the protocol: it holds no keys and
+// verifies nothing; all guarantees are enforced by the clients. Keys are
+// derived deterministically from -seed so that server-less tools (clients)
+// can derive the same public keys; use real key distribution in anything
+// beyond a demo.
+//
+// Example:
+//
+//	faust-server -addr :7440 -n 3
+//	faust-client -server localhost:7440 -n 3 -id 0        # in another shell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"faust/internal/transport"
+	"faust/internal/ustor"
+)
+
+func main() {
+	addr := flag.String("addr", ":7440", "listen address")
+	n := flag.Int("n", 3, "number of clients (registers)")
+	flag.Parse()
+
+	if *n <= 0 {
+		log.Fatalf("faust-server: -n must be positive, got %d", *n)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("faust-server: listen: %v", err)
+	}
+	core := ustor.NewServer(*n)
+	srv := transport.ServeTCP(ln, core)
+	fmt.Printf("faust-server: serving %d registers on %s\n", *n, ln.Addr())
+	fmt.Println("faust-server: this process is the UNTRUSTED party; clients verify everything")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nfaust-server: shutting down")
+	srv.Stop()
+}

@@ -1,0 +1,135 @@
+// Auditlog runs a tamper-evident audit-log scenario on top of USTOR: a
+// compliance team appends findings to registers hosted by an outsourced
+// storage provider. The provider then tries two classic attacks — serving
+// a corrupted record and rolling a reader back to a stale record — and the
+// protocol's client-side checks catch both immediately (Algorithm 1's
+// checkData and version checks). Finally, an offline auditor validates the
+// collected signed versions.
+//
+// Run with:
+//
+//	go run ./examples/auditlog
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"faust/internal/byzantine"
+	"faust/internal/crypto"
+	"faust/internal/faustproto"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+	"faust/internal/wire"
+)
+
+func main() {
+	const n = 3
+	ring, signers := crypto.NewTestKeyring(n, 7)
+
+	// Phase 1: an honest provider. Auditors append findings and
+	// cross-read each other's logs.
+	fmt.Println("— phase 1: honest provider —")
+	honest := ustor.NewServer(n)
+	network := transport.NewNetwork(n, honest)
+	clients := make([]*ustor.Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = ustor.NewClient(i, ring, signers[i], network.ClientLink(i))
+	}
+	var versions []wire.SignedVersion
+	for i, c := range clients {
+		res, err := c.WriteX([]byte(fmt.Sprintf("finding #%d: access review complete", i)))
+		if err != nil {
+			log.Fatalf("auditor %d append: %v", i, err)
+		}
+		versions = append(versions, res.Version)
+	}
+	for i, c := range clients {
+		v, err := c.Read((i + 1) % n)
+		if err != nil {
+			log.Fatalf("auditor %d cross-read: %v", i, err)
+		}
+		fmt.Printf("  auditor %d verified peer record: %q\n", i, v)
+	}
+	report := faustproto.Audit(ring, versions)
+	fmt.Printf("  offline audit of %d signed versions: OK=%v\n", len(versions), report.OK)
+	network.Stop()
+
+	// Phase 2: the provider corrupts a stored record.
+	fmt.Println("— phase 2: provider corrupts a record —")
+	var mu sync.Mutex
+	corrupt := false
+	tamper := &byzantine.ReplyTamperServer{
+		Inner: ustor.NewServer(n),
+		Tamper: func(from int, r *wire.Reply) *wire.Reply {
+			mu.Lock()
+			defer mu.Unlock()
+			if corrupt && r.IsRead && r.Mem.Value != nil {
+				r.Mem.Value[0] ^= 0xFF
+			}
+			return r
+		},
+	}
+	network2 := transport.NewNetwork(n, tamper)
+	defer network2.Stop()
+	c0 := ustor.NewClient(0, ring, signers[0], network2.ClientLink(0))
+	c1 := ustor.NewClient(1, ring, signers[1], network2.ClientLink(1))
+	if err := c0.Write([]byte("finding #0: retention policy violated")); err != nil {
+		log.Fatal(err)
+	}
+	mu.Lock()
+	corrupt = true
+	mu.Unlock()
+	_, err := c1.Read(0)
+	var det *ustor.DetectionError
+	if !errors.As(err, &det) {
+		log.Fatalf("corruption not detected: %v", err)
+	}
+	fmt.Printf("  auditor 1 detected tampering: %v\n", det)
+
+	// Phase 3: the provider rolls a reader back to a stale record.
+	fmt.Println("— phase 3: provider replays a stale record —")
+	var replay struct {
+		sync.Mutex
+		captured []wire.MemEntry
+		active   bool
+	}
+	stale := &byzantine.ReplyTamperServer{
+		Inner: ustor.NewServer(n),
+		Tamper: func(from int, r *wire.Reply) *wire.Reply {
+			replay.Lock()
+			defer replay.Unlock()
+			if r.IsRead {
+				replay.captured = append(replay.captured, r.Mem.Clone())
+				if replay.active && len(replay.captured) > 1 {
+					r.Mem = replay.captured[0].Clone()
+				}
+			}
+			return r
+		},
+	}
+	network3 := transport.NewNetwork(n, stale)
+	defer network3.Stop()
+	w := ustor.NewClient(0, ring, signers[0], network3.ClientLink(0))
+	rd := ustor.NewClient(1, ring, signers[1], network3.ClientLink(1))
+	if err := w.Write([]byte("rev 1")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rd.Read(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Write([]byte("rev 2")); err != nil {
+		log.Fatal(err)
+	}
+	replay.Lock()
+	replay.active = true
+	replay.Unlock()
+	_, err = rd.Read(0)
+	if !errors.As(err, &det) {
+		log.Fatalf("stale replay not detected: %v", err)
+	}
+	fmt.Printf("  auditor 1 detected rollback: %v\n", det)
+	fmt.Println("audit-log guarantees hold: every tampering attempt was caught")
+}

@@ -1,0 +1,248 @@
+package consistency
+
+import (
+	"faust/internal/history"
+)
+
+// causalOrder computes the potential-causality relation of the paper
+// (Section 2): o ->* o' iff they are connected through program order and
+// reads-from edges. It returns a reachability matrix indexed by op ID.
+// Pending reads carry no value and induce no reads-from edge; pending
+// writes can be read from (their value may have reached the server).
+type causalOrder struct {
+	n     int
+	reach [][]bool // reach[a][b]: op a causally precedes op b (strictly)
+}
+
+func newCausalOrder(h history.History, rf map[int]int) *causalOrder {
+	maxID := 0
+	for _, o := range h.Ops {
+		if o.ID > maxID {
+			maxID = o.ID
+		}
+	}
+	size := maxID + 1
+	adj := make([][]int, size)
+
+	// Program order: consecutive ops of each client.
+	for c := 0; c < h.N; c++ {
+		ops := h.ByClient(c)
+		for i := 0; i+1 < len(ops); i++ {
+			adj[ops[i].ID] = append(adj[ops[i].ID], ops[i+1].ID)
+		}
+	}
+	// Reads-from: the write causally precedes the read.
+	for readID, writeID := range rf {
+		if writeID >= 0 {
+			adj[writeID] = append(adj[writeID], readID)
+		}
+	}
+
+	co := &causalOrder{n: size, reach: make([][]bool, size)}
+	for src := 0; src < size; src++ {
+		co.reach[src] = make([]bool, size)
+		// BFS from src.
+		queue := append([]int(nil), adj[src]...)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if co.reach[src][v] {
+				continue
+			}
+			co.reach[src][v] = true
+			queue = append(queue, adj[v]...)
+		}
+	}
+	return co
+}
+
+// precedes reports a ->* b (strict causal precedence).
+func (co *causalOrder) precedes(a, b int) bool {
+	if a >= co.n || b >= co.n {
+		return false
+	}
+	return co.reach[a][b]
+}
+
+// cyclic reports whether any operation causally precedes itself.
+func (co *causalOrder) cyclic() (int, bool) {
+	for i := 0; i < co.n; i++ {
+		if co.reach[i][i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CheckCausal decides causal consistency (Definition 3, instantiated for
+// SWMR registers with unique values, equivalent to Hutto–Ahamad causal
+// memory). The characterization used:
+//
+//  1. the causality relation (program order + reads-from, transitively
+//     closed) is acyclic;
+//  2. every complete read of register X_r returns the causally latest
+//     write to X_r among those causally preceding it: a read returning
+//     w_k admits no write w_j to the same register with j > k and
+//     w_j ->* read, and a bottom read admits no causally preceding write
+//     at all.
+//
+// Per-register writes are totally ordered by the single writer's program
+// order, so "latest" is well defined; per-client monotone reads follow
+// from (2) and transitivity. Condition (2) is necessary directly from
+// Definition 3; sufficiency for this data type is validated against an
+// exhaustive view search in the tests.
+func CheckCausal(h history.History) Result {
+	rf, err := readsFrom(h)
+	if err != nil {
+		return fail("%v", err)
+	}
+	co := newCausalOrder(h, rf)
+	if id, bad := co.cyclic(); bad {
+		return fail("causality cycle through op %d", id)
+	}
+
+	_, writePos := registerWriteOrder(h)
+	byID := make(map[int]history.Op, len(h.Ops))
+	for _, o := range h.Ops {
+		byID[o.ID] = o
+	}
+
+	for _, o := range h.Ops {
+		if o.Kind != history.OpRead || !o.IsComplete() {
+			continue
+		}
+		k := 0
+		if w := rf[o.ID]; w >= 0 {
+			k = writePos[w]
+		}
+		for _, w := range h.Ops {
+			if w.Kind != history.OpWrite || w.Reg != o.Reg {
+				continue
+			}
+			if writePos[w.ID] > k && co.precedes(w.ID, o.ID) {
+				return fail("read %s misses causally preceding write %s", o, w)
+			}
+		}
+	}
+	return ok
+}
+
+// CheckCausalExhaustive decides causal consistency by explicit search: for
+// each client it looks for a serialization of the client's complete ops
+// together with (a subset of) writes that contains every causally
+// preceding update, respects the causal order, and satisfies the
+// sequential specification — a literal reading of Definition 3. Intended
+// for cross-validating CheckCausal on small histories.
+func CheckCausalExhaustive(h history.History, maxOps int) Result {
+	complete := h.Complete()
+	if len(complete.Ops) > maxOps {
+		return fail("history too large for exhaustive search: %d > %d ops",
+			len(complete.Ops), maxOps)
+	}
+	rf, err := readsFrom(h)
+	if err != nil {
+		return fail("%v", err)
+	}
+	co := newCausalOrder(h, rf)
+	if id, bad := co.cyclic(); bad {
+		return fail("causality cycle through op %d", id)
+	}
+
+	for c := 0; c < h.N; c++ {
+		if !clientHasCausalView(complete, c, co) {
+			return fail("no causally consistent view exists for client %d", c)
+		}
+	}
+	return ok
+}
+
+// clientHasCausalView searches for a valid view for client c: all of c's
+// complete ops, plus every update causally preceding any included op,
+// ordered consistently with causality and the register spec.
+func clientHasCausalView(h history.History, c int, co *causalOrder) bool {
+	// The candidate op set: c's ops plus all writes that causally precede
+	// any of them (Definition 3 condition 2 forces those in; including
+	// further concurrent writes is never necessary for existence).
+	include := make(map[int]history.Op)
+	for _, o := range h.Ops {
+		if o.Client == c {
+			include[o.ID] = o
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, w := range h.Ops {
+			if w.Kind != history.OpWrite {
+				continue
+			}
+			if _, in := include[w.ID]; in {
+				continue
+			}
+			for id := range include {
+				if co.precedes(w.ID, id) {
+					include[w.ID] = w
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	ops := make([]history.Op, 0, len(include))
+	for _, o := range include {
+		ops = append(ops, o)
+	}
+	// Backtracking search for a causal-order-respecting, spec-satisfying
+	// sequence.
+	used := make(map[int]bool, len(ops))
+	state := make(map[int][]byte)
+	var rec func(placed int) bool
+	rec = func(placed int) bool {
+		if placed == len(ops) {
+			return true
+		}
+		for i, o := range ops {
+			if used[o.ID] {
+				continue
+			}
+			eligible := true
+			for j, p := range ops {
+				if i == j || used[p.ID] {
+					continue
+				}
+				if co.precedes(p.ID, o.ID) {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			var saved []byte
+			var hadKey bool
+			if o.Kind == history.OpRead {
+				if !valueEqual(state[o.Reg], o.Value) {
+					continue
+				}
+			} else {
+				saved, hadKey = state[o.Reg]
+				state[o.Reg] = o.Value
+			}
+			used[o.ID] = true
+			if rec(placed + 1) {
+				return true
+			}
+			used[o.ID] = false
+			if o.Kind == history.OpWrite {
+				if hadKey {
+					state[o.Reg] = saved
+				} else {
+					delete(state, o.Reg)
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,535 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"faust/internal/history"
+)
+
+const searchCap = 10
+
+func TestCheckSequentialAcceptsLegalRuns(t *testing.T) {
+	h := history.NewBuilder(2).
+		Write(0, "a").
+		Read(1, 0, "a").
+		Write(1, "b").
+		Read(0, 1, "b").
+		Read(0, 0, "a").
+		History()
+	if res := CheckSequential(h.Ops); !res.OK {
+		t.Fatalf("legal sequential run rejected: %s", res.Reason)
+	}
+}
+
+func TestCheckSequentialRejectsWrongValue(t *testing.T) {
+	h := history.NewBuilder(2).Write(0, "a").Read(1, 0, "stale").History()
+	if res := CheckSequential(h.Ops); res.OK {
+		t.Fatal("read of wrong value accepted")
+	}
+}
+
+func TestCheckSequentialRejectsBottomAfterWrite(t *testing.T) {
+	h := history.NewBuilder(2).Write(0, "a").Read(1, 0, "").History()
+	if res := CheckSequential(h.Ops); res.OK {
+		t.Fatal("bottom read after write accepted")
+	}
+}
+
+func TestCheckSequentialRejectsSWMRViolation(t *testing.T) {
+	ops := []history.Op{
+		{ID: 0, Client: 0, Kind: history.OpWrite, Reg: 1, Value: []byte("x"), Inv: 1, Resp: 2},
+	}
+	if res := CheckSequential(ops); res.OK {
+		t.Fatal("write to foreign register accepted")
+	}
+}
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	h := history.NewBuilder(3).
+		Write(0, "a").
+		Read(1, 0, "a").
+		Write(1, "b").
+		Read(2, 1, "b").
+		Read(2, 0, "a").
+		History()
+	if res := CheckLinearizable(h); !res.OK {
+		t.Fatalf("linearizable history rejected: %s", res.Reason)
+	}
+}
+
+func TestLinearizableConcurrentReadMayReturnEither(t *testing.T) {
+	// A read concurrent with a write may return old or new value.
+	old := history.NewBuilder(2).
+		Write(0, "v1").
+		Concurrent(
+			history.OpSpec{Client: 0, Kind: history.OpWrite, Reg: 0, Value: "v2"},
+			history.OpSpec{Client: 1, Kind: history.OpRead, Reg: 0, Value: "v1"},
+		).History()
+	if res := CheckLinearizable(old); !res.OK {
+		t.Fatalf("concurrent read of old value rejected: %s", res.Reason)
+	}
+	newer := history.NewBuilder(2).
+		Write(0, "v1").
+		Concurrent(
+			history.OpSpec{Client: 0, Kind: history.OpWrite, Reg: 0, Value: "v2"},
+			history.OpSpec{Client: 1, Kind: history.OpRead, Reg: 0, Value: "v2"},
+		).History()
+	if res := CheckLinearizable(newer); !res.OK {
+		t.Fatalf("concurrent read of new value rejected: %s", res.Reason)
+	}
+}
+
+func TestLinearizableRejectsStaleRead(t *testing.T) {
+	h := history.NewBuilder(2).
+		Write(0, "v1").
+		Write(0, "v2").
+		Read(1, 0, "v1"). // v2 completed before this read began
+		History()
+	res := CheckLinearizable(h)
+	if res.OK {
+		t.Fatal("stale read accepted")
+	}
+	if !strings.Contains(res.Reason, "stale") {
+		t.Fatalf("unexpected reason: %s", res.Reason)
+	}
+}
+
+func TestLinearizableRejectsBottomAfterCompletedWrite(t *testing.T) {
+	h := history.NewBuilder(2).Write(0, "v").Read(1, 0, "").History()
+	if res := CheckLinearizable(h); res.OK {
+		t.Fatal("bottom read after completed write accepted")
+	}
+}
+
+func TestLinearizableRejectsFutureRead(t *testing.T) {
+	h := history.NewBuilder(2).
+		Read(1, 0, "v"). // reads a value written only later
+		Write(0, "v").
+		History()
+	res := CheckLinearizable(h)
+	if res.OK {
+		t.Fatal("future read accepted")
+	}
+	if !strings.Contains(res.Reason, "future") {
+		t.Fatalf("unexpected reason: %s", res.Reason)
+	}
+}
+
+func TestLinearizableRejectsNewOldInversion(t *testing.T) {
+	h := history.NewBuilder(3).
+		Write(0, "v1").
+		Concurrent(
+			history.OpSpec{Client: 0, Kind: history.OpWrite, Reg: 0, Value: "v2"},
+			history.OpSpec{Client: 1, Kind: history.OpRead, Reg: 0, Value: "v2"},
+		).
+		Read(2, 0, "v1"). // after a read that already saw v2
+		History()
+	res := CheckLinearizable(h)
+	if res.OK {
+		t.Fatal("new-old inversion accepted")
+	}
+}
+
+func TestLinearizablePendingWriteMayBeRead(t *testing.T) {
+	h := history.NewBuilder(2).
+		PendingWrite(0, "ghost").
+		Read(1, 0, "ghost").
+		History()
+	if res := CheckLinearizable(h); !res.OK {
+		t.Fatalf("read of pending write rejected: %s", res.Reason)
+	}
+	if res := CheckLinearizableExhaustive(h, searchCap); !res.OK {
+		t.Fatalf("exhaustive: read of pending write rejected: %s", res.Reason)
+	}
+}
+
+func TestLinearizablePendingWriteMayBeInvisible(t *testing.T) {
+	h := history.NewBuilder(2).
+		PendingWrite(0, "ghost").
+		Read(1, 0, "").
+		History()
+	if res := CheckLinearizable(h); !res.OK {
+		t.Fatalf("invisible pending write rejected: %s", res.Reason)
+	}
+}
+
+func TestLinearizableRejectsUnwrittenValue(t *testing.T) {
+	h := history.NewBuilder(2).Read(1, 0, "martian").History()
+	if res := CheckLinearizable(h); res.OK {
+		t.Fatal("read of never-written value accepted")
+	}
+}
+
+func TestWaitFree(t *testing.T) {
+	h := history.NewBuilder(2).Write(0, "a").PendingWrite(1, "b").History()
+	all := func(int) bool { return true }
+	if res := CheckWaitFree(h, all); res.OK {
+		t.Fatal("pending op of correct client accepted")
+	}
+	crashed := func(c int) bool { return c != 1 }
+	if res := CheckWaitFree(h, crashed); !res.OK {
+		t.Fatalf("pending op of crashed client rejected: %s", res.Reason)
+	}
+}
+
+// figure3 builds the history of Figure 3: write1(X1,u) completes, then
+// client 2 reads bottom, then reads u. (0-based: clients 0 and 1.)
+func figure3() history.History {
+	return history.NewBuilder(2).
+		Write(0, "u").
+		Read(1, 0, "").
+		Read(1, 0, "u").
+		History()
+}
+
+func TestFigure3NotLinearizable(t *testing.T) {
+	if res := CheckLinearizable(figure3()); res.OK {
+		t.Fatal("Figure 3 history must not be linearizable")
+	}
+	if res := CheckLinearizableExhaustive(figure3(), searchCap); res.OK {
+		t.Fatal("Figure 3 history must not be linearizable (exhaustive)")
+	}
+}
+
+func TestFigure3WeakButNotForkLinearizable(t *testing.T) {
+	h := figure3()
+	if res := CheckWeakForkLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("Figure 3 must be weak fork-linearizable: %s", res.Reason)
+	}
+	if res := CheckForkLinearizable(h, searchCap); res.OK {
+		t.Fatal("Figure 3 must NOT be fork-linearizable")
+	}
+}
+
+func TestFigure3NotForkStar(t *testing.T) {
+	// Fork-* keeps the full real-time order, so the bottom read after the
+	// completed write cannot be placed: one direction of the paper's
+	// incomparability claim (Section 4).
+	if res := CheckForkStarLinearizable(figure3(), searchCap); res.OK {
+		t.Fatal("Figure 3 must NOT be fork-*-linearizable")
+	}
+}
+
+func TestFigure3CausallyConsistent(t *testing.T) {
+	if res := CheckCausal(figure3()); !res.OK {
+		t.Fatalf("Figure 3 must be causally consistent: %s", res.Reason)
+	}
+}
+
+// forkStarButNotWeak is the other direction of the incomparability claim:
+// a history that is fork-*-linearizable but violates causal consistency
+// (and hence weak fork-linearizability).
+//
+//	C0: write0(X0,u)
+//	C1: read1(X0)->u ; write1(X1,v)
+//	C2: read2(X1)->v ; read2(X0)->bottom   (!! causally after write0)
+func forkStarButNotWeak() history.History {
+	return history.NewBuilder(3).
+		Write(0, "u").
+		Read(1, 0, "u").
+		Write(1, "v").
+		Read(2, 1, "v").
+		Read(2, 0, "").
+		History()
+}
+
+func TestForkStarButNotWeakForkLinearizable(t *testing.T) {
+	h := forkStarButNotWeak()
+	if res := CheckForkStarLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("history must be fork-*-linearizable: %s", res.Reason)
+	}
+	if res := CheckWeakForkLinearizable(h, searchCap); res.OK {
+		t.Fatal("history must NOT be weak fork-linearizable (causality violated)")
+	}
+	if res := CheckCausal(h); res.OK {
+		t.Fatal("history must NOT be causally consistent")
+	}
+}
+
+func TestForkedHistoryIsForkLinearizable(t *testing.T) {
+	// The server hides C0's second write from C1 forever: a plain fork.
+	// Forking semantics allow it (the reader's view simply omits the
+	// write); linearizability does not.
+	h := history.NewBuilder(2).
+		Write(0, "v1").
+		Write(0, "v2").
+		Read(1, 0, "v1").
+		History()
+	if res := CheckForkLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("fork must be fork-linearizable: %s", res.Reason)
+	}
+	if res := CheckWeakForkLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("fork must be weak fork-linearizable: %s", res.Reason)
+	}
+	if res := CheckLinearizable(h); res.OK {
+		t.Fatal("fork must not be linearizable")
+	}
+}
+
+func TestDoubleJoinViolatesWeakForkLinearizability(t *testing.T) {
+	// The server hides write0(a) from C1 (bottom read), then later shows
+	// C1 the newer write0(b). The hidden-then-shown pattern re-joins the
+	// views in a non-last operation, which weak fork-linearizability
+	// forbids (and USTOR detects).
+	h := history.NewBuilder(2).
+		Write(0, "a").
+		Read(1, 0, ""). // misses a
+		Write(0, "b").
+		Read(1, 0, "b"). // but sees b
+		History()
+	if res := CheckWeakForkLinearizable(h, searchCap); res.OK {
+		t.Fatal("hidden-then-shown history must violate weak fork-linearizability")
+	}
+	if res := CheckForkLinearizable(h, searchCap); res.OK {
+		t.Fatal("hidden-then-shown history must violate fork-linearizability")
+	}
+}
+
+func TestLinearizableImpliesAllForkNotions(t *testing.T) {
+	h := history.NewBuilder(2).
+		Write(0, "a").
+		Read(1, 0, "a").
+		Write(1, "b").
+		Read(0, 1, "b").
+		History()
+	if res := CheckLinearizable(h); !res.OK {
+		t.Fatalf("sanity: %s", res.Reason)
+	}
+	if res := CheckForkLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("linearizable but not fork-linearizable: %s", res.Reason)
+	}
+	if res := CheckForkStarLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("linearizable but not fork-*: %s", res.Reason)
+	}
+	if res := CheckWeakForkLinearizable(h, searchCap); !res.OK {
+		t.Fatalf("linearizable but not weak fork-linearizable: %s", res.Reason)
+	}
+	if res := CheckCausal(h); !res.OK {
+		t.Fatalf("linearizable but not causal: %s", res.Reason)
+	}
+}
+
+func TestCausalAllowsDisjointOrders(t *testing.T) {
+	// Two clients observe two concurrent writes in different orders:
+	// causally fine, not linearizable. (Writes are causally concurrent.)
+	h := history.NewBuilder(4).
+		Concurrent(
+			history.OpSpec{Client: 0, Kind: history.OpWrite, Reg: 0, Value: "x"},
+			history.OpSpec{Client: 1, Kind: history.OpWrite, Reg: 1, Value: "y"},
+		).
+		Concurrent(
+			history.OpSpec{Client: 2, Kind: history.OpRead, Reg: 0, Value: "x"},
+			history.OpSpec{Client: 3, Kind: history.OpRead, Reg: 1, Value: "y"},
+		).
+		Concurrent(
+			history.OpSpec{Client: 2, Kind: history.OpRead, Reg: 1, Value: ""},
+			history.OpSpec{Client: 3, Kind: history.OpRead, Reg: 0, Value: ""},
+		).
+		History()
+	if res := CheckCausal(h); !res.OK {
+		t.Fatalf("causally consistent history rejected: %s", res.Reason)
+	}
+}
+
+func TestCausalRejectsMissedCausalWrite(t *testing.T) {
+	// C1 reads u (so write0 -> its next ops), writes v; C2 sees v but not
+	// u: causality violated.
+	if res := CheckCausal(forkStarButNotWeak()); res.OK {
+		t.Fatal("causality violation accepted")
+	}
+}
+
+func TestCausalRejectsReadCycle(t *testing.T) {
+	// Read before (program order) the write it reads from => cycle.
+	ops := []history.Op{
+		{ID: 0, Client: 0, Kind: history.OpRead, Reg: 1, Value: []byte("v"), Inv: 1, Resp: 2},
+		{ID: 1, Client: 1, Kind: history.OpRead, Reg: 0, Value: []byte("u"), Inv: 1, Resp: 2},
+		{ID: 2, Client: 0, Kind: history.OpWrite, Reg: 0, Value: []byte("u"), Inv: 3, Resp: 4},
+		{ID: 3, Client: 1, Kind: history.OpWrite, Reg: 1, Value: []byte("v"), Inv: 3, Resp: 4},
+	}
+	h := history.History{N: 2, Ops: ops}
+	if res := CheckCausal(h); res.OK {
+		t.Fatal("causal cycle accepted")
+	}
+}
+
+func TestCausalMonotoneReadsViolation(t *testing.T) {
+	// One client reads v2 then v1 (going backwards): per-client
+	// monotonicity is implied by causality and must be rejected.
+	h := history.NewBuilder(2).
+		Write(0, "v1").
+		Write(0, "v2").
+		Read(1, 0, "v2").
+		Read(1, 0, "v1").
+		History()
+	if res := CheckCausal(h); res.OK {
+		t.Fatal("backwards reads accepted by causal checker")
+	}
+}
+
+func TestCausalStaleReadAllowed(t *testing.T) {
+	// Reading a stale (but causally permitted) value is fine for causal
+	// consistency even though linearizability rejects it.
+	h := history.NewBuilder(2).
+		Write(0, "v1").
+		Write(0, "v2").
+		Read(1, 0, "v1").
+		History()
+	if res := CheckCausal(h); !res.OK {
+		t.Fatalf("stale read rejected by causal checker: %s", res.Reason)
+	}
+	if res := CheckCausalExhaustive(h, searchCap); !res.OK {
+		t.Fatalf("stale read rejected by exhaustive causal checker: %s", res.Reason)
+	}
+}
+
+// randomHistory generates a small pseudo-random history over n clients.
+// Written values are unique; read values are sampled among written values
+// (possibly of the wrong register era) or bottom, so both legal and
+// illegal histories appear.
+func randomHistory(rng *rand.Rand, n, ops int) history.History {
+	b := history.NewBuilder(n)
+	var written []string
+	seq := 0
+	for len(b.History().Ops) < ops {
+		c := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			seq++
+			v := fmt.Sprintf("v%d", seq)
+			written = append(written, v)
+			b.Write(c, v)
+		case 1:
+			reg := rng.Intn(n)
+			val := ""
+			if len(written) > 0 && rng.Intn(3) > 0 {
+				val = written[rng.Intn(len(written))]
+			}
+			b.Read(c, reg, val)
+		default:
+			seq++
+			v := fmt.Sprintf("v%d", seq)
+			written = append(written, v)
+			reg := rng.Intn(n)
+			val := ""
+			if len(written) > 1 && rng.Intn(2) == 0 {
+				val = written[rng.Intn(len(written)-1)]
+			}
+			b.Concurrent(
+				history.OpSpec{Client: c, Kind: history.OpWrite, Reg: c, Value: v},
+				history.OpSpec{Client: (c + 1) % n, Kind: history.OpRead, Reg: reg, Value: val},
+			)
+		}
+	}
+	return b.History()
+}
+
+// fixReadValues rewrites read values so they refer to writes of the right
+// register where possible; histories remain adversarial but type-correct.
+func plausible(h history.History) bool {
+	_, err := readsFrom(h)
+	return err == nil
+}
+
+// Property: the fast linearizability checker agrees with the exhaustive
+// one on random small histories.
+func TestQuickLinearizableFastMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	checked := 0
+	for iter := 0; iter < 400; iter++ {
+		h := randomHistory(rng, 2, 5)
+		if !plausible(h) {
+			continue
+		}
+		checked++
+		fast := CheckLinearizable(h)
+		slow := CheckLinearizableExhaustive(h, 12)
+		if fast.OK != slow.OK {
+			t.Fatalf("checkers disagree (fast=%v slow=%v) on:\n%s\nfast: %s\nslow: %s",
+				fast.OK, slow.OK, h, fast.Reason, slow.Reason)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few plausible histories checked: %d", checked)
+	}
+}
+
+// Property: the fast causal checker agrees with the exhaustive one.
+func TestQuickCausalFastMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	checked := 0
+	for iter := 0; iter < 300; iter++ {
+		h := randomHistory(rng, 2, 5)
+		if !plausible(h) {
+			continue
+		}
+		checked++
+		fast := CheckCausal(h)
+		slow := CheckCausalExhaustive(h, 12)
+		if fast.OK != slow.OK {
+			t.Fatalf("causal checkers disagree (fast=%v slow=%v) on:\n%s\nfast: %s\nslow: %s",
+				fast.OK, slow.OK, h, fast.Reason, slow.Reason)
+		}
+	}
+	if checked < 80 {
+		t.Fatalf("too few plausible histories checked: %d", checked)
+	}
+}
+
+// Property: the hierarchy of notions holds on random histories:
+// linearizable => fork-linearizable => weak fork-linearizable => causal.
+func TestQuickNotionHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	checked := 0
+	for iter := 0; iter < 200; iter++ {
+		h := randomHistory(rng, 2, 5)
+		if !plausible(h) {
+			continue
+		}
+		checked++
+		lin := CheckLinearizable(h).OK
+		fork := CheckForkLinearizable(h, 12).OK
+		weak := CheckWeakForkLinearizable(h, 12).OK
+		causal := CheckCausal(h).OK
+		if lin && !fork {
+			t.Fatalf("linearizable but not fork-linearizable:\n%s", h)
+		}
+		if fork && !weak {
+			t.Fatalf("fork-linearizable but not weak fork-linearizable:\n%s", h)
+		}
+		if weak && !causal {
+			t.Fatalf("weak fork-linearizable but not causal:\n%s", h)
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("too few plausible histories checked: %d", checked)
+	}
+}
+
+func TestSearchCapsReported(t *testing.T) {
+	// A history over the cap must yield a descriptive failure, not hang.
+	b := history.NewBuilder(2)
+	for i := 0; i < 30; i++ {
+		b.Write(0, fmt.Sprintf("v%d", i))
+	}
+	h := b.History()
+	if res := CheckWeakForkLinearizable(h, 10); res.OK || !strings.Contains(res.Reason, "too large") {
+		t.Fatalf("cap not enforced: %+v", res)
+	}
+	if res := CheckLinearizableExhaustive(h, 10); res.OK || !strings.Contains(res.Reason, "too large") {
+		t.Fatalf("cap not enforced: %+v", res)
+	}
+}
+
+func TestEmptyHistoryConsistent(t *testing.T) {
+	h := history.History{N: 2}
+	if !CheckLinearizable(h).OK || !CheckCausal(h).OK {
+		t.Fatal("empty history must be consistent")
+	}
+	if !CheckWeakForkLinearizable(h, searchCap).OK {
+		t.Fatal("empty history must be weak fork-linearizable")
+	}
+}

@@ -1,0 +1,389 @@
+package consistency
+
+import (
+	"faust/internal/history"
+)
+
+// The fork-family checkers decide, by bounded exhaustive search, whether a
+// history admits per-client views satisfying one of the forking
+// consistency notions:
+//
+//   - fork-linearizability (Mazières–Shasha): views preserve real-time
+//     order and satisfy the *no-join* property — any operation common to
+//     two views has identical prefixes in both.
+//   - fork-*-linearizability (Li–Mazières, adapted): views preserve
+//     real-time order; joins are limited per client (*at-most-one-join*):
+//     for two common operations of the same client, the prefix up to the
+//     earlier one must agree. Causal consistency is NOT required.
+//   - weak fork-linearizability (Definition 6, this paper): views preserve
+//     only the *weak* real-time order (the positionally last operation of
+//     each client inside a view is exempt), must be causally closed and
+//     causality-ordered, and satisfy at-most-one-join.
+//
+// The search is exponential; callers bound it with maxOps. It is meant
+// for the separation examples of Section 4 (e.g. Figure 3, three
+// operations) and for property tests on random small histories.
+
+// forkSpec selects the notion to check.
+type forkSpec struct {
+	name          string
+	weakRealTime  bool
+	requireCausal bool
+	noJoin        bool
+}
+
+// searchLimits bound the view enumeration.
+const (
+	maxViewsPerClient = 100000
+	maxSearchNodes    = 4000000
+)
+
+// CheckForkLinearizable decides fork-linearizability.
+func CheckForkLinearizable(h history.History, maxOps int) Result {
+	return checkFork(h, forkSpec{name: "fork-linearizability", noJoin: true}, maxOps)
+}
+
+// CheckForkStarLinearizable decides fork-*-linearizability (adapted to
+// this model as in Section 4 of the paper).
+func CheckForkStarLinearizable(h history.History, maxOps int) Result {
+	return checkFork(h, forkSpec{name: "fork-*-linearizability"}, maxOps)
+}
+
+// CheckWeakForkLinearizable decides weak fork-linearizability
+// (Definition 6).
+func CheckWeakForkLinearizable(h history.History, maxOps int) Result {
+	return checkFork(h, forkSpec{
+		name:          "weak fork-linearizability",
+		weakRealTime:  true,
+		requireCausal: true,
+	}, maxOps)
+}
+
+// viewCand is one candidate view: a sequence of op IDs with a position
+// index.
+type viewCand struct {
+	seq []int
+	pos map[int]int
+}
+
+func checkFork(h history.History, spec forkSpec, maxOps int) Result {
+	complete := h.Complete()
+	if len(complete.Ops) > maxOps {
+		return fail("%s: history too large for exhaustive search: %d > %d ops",
+			spec.name, len(complete.Ops), maxOps)
+	}
+	rf, err := readsFrom(h)
+	if err != nil {
+		return fail("%s: %v", spec.name, err)
+	}
+	co := newCausalOrder(h, rf)
+
+	// Candidate pool: complete operations plus pending writes (a pending
+	// write may have taken effect; the view's extension sigma' may
+	// complete it).
+	var pool []history.Op
+	for _, o := range h.Ops {
+		if o.IsComplete() || o.Kind == history.OpWrite {
+			pool = append(pool, o)
+		}
+	}
+	byID := make(map[int]history.Op, len(pool))
+	for _, o := range pool {
+		byID[o.ID] = o
+	}
+
+	gen := &viewGenerator{h: h, spec: spec, co: co, pool: pool, byID: byID}
+	views := make([][]viewCand, h.N)
+	for c := 0; c < h.N; c++ {
+		cands, err := gen.generate(c)
+		if err != nil {
+			return fail("%s: %v", spec.name, err)
+		}
+		if len(cands) == 0 {
+			return fail("%s: no valid view exists for client %d", spec.name, c)
+		}
+		views[c] = cands
+	}
+
+	// Joint selection: one view per client, pairwise join conditions.
+	assigned := make([]*viewCand, h.N)
+	var pick func(c int) bool
+	pick = func(c int) bool {
+		if c == h.N {
+			return true
+		}
+		for idx := range views[c] {
+			cand := &views[c][idx]
+			pairOK := true
+			for prev := 0; prev < c; prev++ {
+				if !joinOK(spec, assigned[prev], cand, byID) {
+					pairOK = false
+					break
+				}
+			}
+			if !pairOK {
+				continue
+			}
+			assigned[c] = cand
+			if pick(c + 1) {
+				return true
+			}
+			assigned[c] = nil
+		}
+		return false
+	}
+	if !pick(0) {
+		return fail("%s: no compatible combination of views exists", spec.name)
+	}
+	return ok
+}
+
+// viewGenerator enumerates candidate views for one client.
+type viewGenerator struct {
+	h     history.History
+	spec  forkSpec
+	co    *causalOrder
+	pool  []history.Op
+	byID  map[int]history.Op
+	nodes int
+}
+
+func (g *viewGenerator) generate(client int) ([]viewCand, error) {
+	// Required: every complete operation of the client.
+	required := make(map[int]bool)
+	var clientOps []history.Op // the client's complete ops in program order
+	for _, o := range g.h.Complete().Ops {
+		if o.Client == client {
+			required[o.ID] = true
+		}
+	}
+	clientOps = g.h.Complete().ByClient(client)
+
+	var out []viewCand
+	used := make(map[int]bool, len(g.pool))
+	state := make(map[int][]byte)
+	var seq []int
+	var nextOwn int // index into clientOps of the next own op to place
+
+	emit := func() error {
+		if nextOwn != len(clientOps) {
+			return nil // not all own ops placed yet
+		}
+		cand := viewCand{
+			seq: append([]int(nil), seq...),
+			pos: make(map[int]int, len(seq)),
+		}
+		for i, id := range cand.seq {
+			cand.pos[id] = i
+		}
+		if !g.viewConditionsHold(client, cand) {
+			return nil
+		}
+		out = append(out, cand)
+		if len(out) > maxViewsPerClient {
+			return errTooManyViews
+		}
+		return nil
+	}
+
+	var rec func() error
+	rec = func() error {
+		g.nodes++
+		if g.nodes > maxSearchNodes {
+			return errSearchTooLarge
+		}
+		if err := emit(); err != nil {
+			return err
+		}
+		for _, o := range g.pool {
+			if used[o.ID] {
+				continue
+			}
+			// The client's own operations appear in program order and
+			// completely (view condition 2 of Definition 1).
+			if o.Client == client {
+				if o.IsComplete() {
+					if nextOwn >= len(clientOps) || clientOps[nextOwn].ID != o.ID {
+						continue
+					}
+				} else if nextOwn != len(clientOps) {
+					// The client's own pending op can only follow all its
+					// complete ops.
+					continue
+				}
+			}
+			// Spec pruning.
+			var saved []byte
+			var hadKey bool
+			if o.Kind == history.OpRead {
+				if !valueEqual(state[o.Reg], o.Value) {
+					continue
+				}
+			} else {
+				saved, hadKey = state[o.Reg]
+				state[o.Reg] = o.Value
+			}
+			// Real-time pruning for full real-time notions: placing o
+			// after an already placed op it really precedes is fatal.
+			if !g.spec.weakRealTime {
+				bad := false
+				for _, placedID := range seq {
+					if o.Precedes(g.byID[placedID]) {
+						bad = true
+						break
+					}
+				}
+				if bad {
+					if o.Kind == history.OpWrite {
+						if hadKey {
+							state[o.Reg] = saved
+						} else {
+							delete(state, o.Reg)
+						}
+					}
+					continue
+				}
+			}
+
+			used[o.ID] = true
+			seq = append(seq, o.ID)
+			wasOwn := o.Client == client && o.IsComplete()
+			if wasOwn {
+				nextOwn++
+			}
+			if err := rec(); err != nil {
+				return err
+			}
+			if wasOwn {
+				nextOwn--
+			}
+			seq = seq[:len(seq)-1]
+			used[o.ID] = false
+			if o.Kind == history.OpWrite {
+				if hadKey {
+					state[o.Reg] = saved
+				} else {
+					delete(state, o.Reg)
+				}
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// viewConditionsHold applies the per-view conditions that can only be
+// checked on a complete candidate: (weak) real-time order and, when
+// required, causal closure and causal ordering.
+func (g *viewGenerator) viewConditionsHold(client int, cand viewCand) bool {
+	ops := make([]history.Op, len(cand.seq))
+	for i, id := range cand.seq {
+		ops[i] = g.byID[id]
+	}
+	// lastops(pi): the positionally last op of each client present.
+	last := make(map[int]bool)
+	if g.spec.weakRealTime {
+		lastPerClient := make(map[int]int)
+		for i, o := range ops {
+			lastPerClient[o.Client] = i
+		}
+		for _, idx := range lastPerClient {
+			last[cand.seq[idx]] = true
+		}
+	}
+	// Real-time order: for each ordered pair (a after b in view) with
+	// a really-preceding b, fail — unless one of them is exempt under the
+	// weak order.
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].Precedes(ops[i]) {
+				if g.spec.weakRealTime && (last[ops[i].ID] || last[ops[j].ID]) {
+					continue
+				}
+				return false
+			}
+		}
+	}
+	if g.spec.requireCausal {
+		// Definition 6 condition 3: every update of sigma causally
+		// preceding an op of the view is in the view, before it.
+		for _, o := range ops {
+			for _, u := range g.h.Ops {
+				if u.Kind != history.OpWrite {
+					continue
+				}
+				if !g.co.precedes(u.ID, o.ID) {
+					continue
+				}
+				upos, in := cand.pos[u.ID]
+				if !in || upos >= cand.pos[o.ID] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// joinOK verifies the pairwise join condition between two views.
+func joinOK(spec forkSpec, a, b *viewCand, byID map[int]history.Op) bool {
+	if spec.noJoin {
+		// Fork-linearizability: every common op has identical prefixes.
+		for _, id := range a.seq {
+			if _, in := b.pos[id]; in {
+				if !prefixEqual(a, b, id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// At-most-one-join: for two common ops of the same client where one
+	// really precedes the other, the prefix up to the earlier must agree.
+	for _, id1 := range a.seq {
+		if _, in := b.pos[id1]; !in {
+			continue
+		}
+		for _, id2 := range a.seq {
+			if id1 == id2 {
+				continue
+			}
+			if _, in := b.pos[id2]; !in {
+				continue
+			}
+			o1, o2 := byID[id1], byID[id2]
+			if o1.Client == o2.Client && o1.Precedes(o2) {
+				if !prefixEqual(a, b, id1) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func prefixEqual(a, b *viewCand, id int) bool {
+	pa, pb := a.pos[id], b.pos[id]
+	if pa != pb {
+		return false
+	}
+	for i := 0; i <= pa; i++ {
+		if a.seq[i] != b.seq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sentinel errors of the bounded search.
+var (
+	errTooManyViews   = searchError("too many candidate views; raise maxOps limits or shrink the history")
+	errSearchTooLarge = searchError("view search exceeded the node budget")
+)
+
+type searchError string
+
+func (e searchError) Error() string { return string(e) }

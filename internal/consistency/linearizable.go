@@ -1,0 +1,212 @@
+package consistency
+
+import (
+	"math"
+	"sort"
+
+	"faust/internal/history"
+)
+
+// CheckLinearizable decides linearizability (Definition 2) of a history of
+// SWMR registers with unique written values in polynomial time.
+//
+// By the locality theorem of Herlihy and Wing, a history is linearizable
+// iff each per-register sub-history is. For one SWMR register with unique
+// values the classic three conditions characterize atomicity, with w_k
+// denoting the k-th write in the (single) writer's program order and k(r)
+// the index of the write a read r returns (0 for bottom):
+//
+//  1. no read from the future: w_{k(r)} is invoked before r responds;
+//  2. no stale read: k(r) >= max{ j : w_j completed before r was invoked };
+//  3. no new-old inversion: if r1 completes before r2 is invoked then
+//     k(r1) <= k(r2).
+//
+// Pending writes may or may not take effect; they satisfy (2) and (3)
+// vacuously because they complete after every response. Pending reads are
+// ignored (they may be completed with any consistent value).
+func CheckLinearizable(h history.History) Result {
+	rf, err := readsFrom(h)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if err := h.WellFormed(); err != nil {
+		return fail("%v", err)
+	}
+	_, writePos := registerWriteOrder(h)
+
+	for r := 0; r < h.N; r++ {
+		res := checkRegisterAtomic(h, r, rf, writePos)
+		if !res.OK {
+			return res
+		}
+	}
+	return ok
+}
+
+func checkRegisterAtomic(h history.History, reg int, rf map[int]int, writePos map[int]int) Result {
+	ops := h.ByRegister(reg)
+	type writeInfo struct {
+		op  history.Op
+		idx int // 1-based program-order index
+	}
+	var writes []writeInfo
+	var reads []history.Op
+	for _, o := range ops {
+		switch o.Kind {
+		case history.OpWrite:
+			writes = append(writes, writeInfo{op: o, idx: writePos[o.ID]})
+		case history.OpRead:
+			if o.IsComplete() {
+				reads = append(reads, o)
+			}
+		}
+	}
+	sort.Slice(writes, func(a, b int) bool { return writes[a].idx < writes[b].idx })
+
+	resp := func(o history.Op) int64 {
+		if !o.IsComplete() {
+			return math.MaxInt64
+		}
+		return o.Resp
+	}
+
+	// kOf maps a read to the index of the write it returns.
+	kOf := func(r history.Op) int {
+		w := rf[r.ID]
+		if w == -1 {
+			return 0
+		}
+		return writePos[w]
+	}
+
+	for _, r := range reads {
+		k := kOf(r)
+		// Condition 1: the write must be invoked before the read responds.
+		if k > 0 {
+			w := writes[k-1].op
+			if w.Inv >= r.Resp {
+				return fail("register %d: %s reads from the future write %s", reg, r, w)
+			}
+		}
+		// Condition 2: no completed, newer-than-k write may precede the read.
+		for _, w := range writes {
+			if resp(w.op) < r.Inv && w.idx > k {
+				return fail("register %d: %s returns stale value; %s completed before it",
+					reg, r, w.op)
+			}
+		}
+	}
+	// Condition 3: reads ordered in real time respect write order.
+	for i := range reads {
+		for j := range reads {
+			if reads[i].Resp < reads[j].Inv && kOf(reads[i]) > kOf(reads[j]) {
+				return fail("register %d: new-old inversion between %s and %s",
+					reg, reads[i], reads[j])
+			}
+		}
+	}
+	return ok
+}
+
+// CheckLinearizableExhaustive decides linearizability by explicit search
+// over linearization orders (the Wing–Gong algorithm with spec pruning).
+// It exists to cross-validate CheckLinearizable on small histories and to
+// handle degenerate inputs (duplicate values) the fast path rejects.
+// Histories larger than maxOps complete operations yield an error result.
+func CheckLinearizableExhaustive(h history.History, maxOps int) Result {
+	complete := h.Complete()
+	if len(complete.Ops) > maxOps {
+		return fail("history too large for exhaustive search: %d > %d ops",
+			len(complete.Ops), maxOps)
+	}
+	// Pending writes may linearize; enumerate every subset of them.
+	var pendingWrites []history.Op
+	for _, o := range h.Ops {
+		if !o.IsComplete() && o.Kind == history.OpWrite {
+			pendingWrites = append(pendingWrites, o)
+		}
+	}
+	if len(pendingWrites) > 10 {
+		return fail("too many pending writes for exhaustive search: %d", len(pendingWrites))
+	}
+	for mask := 0; mask < 1<<len(pendingWrites); mask++ {
+		ops := append([]history.Op(nil), complete.Ops...)
+		for b, w := range pendingWrites {
+			if mask&(1<<b) != 0 {
+				ops = append(ops, w)
+			}
+		}
+		if searchLinearization(ops) {
+			return ok
+		}
+	}
+	return fail("no linearization order exists")
+}
+
+// searchLinearization backtracks over orders of ops that respect real-time
+// precedence and the sequential specification.
+func searchLinearization(ops []history.Op) bool {
+	used := make([]bool, len(ops))
+	state := make(map[int][]byte)
+	var rec func(placed int) bool
+	rec = func(placed int) bool {
+		if placed == len(ops) {
+			return true
+		}
+		for i, o := range ops {
+			if used[i] {
+				continue
+			}
+			// o may go next only if no unplaced op precedes it in real time.
+			eligible := true
+			for j, p := range ops {
+				if i == j || used[j] {
+					continue
+				}
+				if p.Precedes(o) {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			var saved []byte
+			var hadKey bool
+			if o.Kind == history.OpRead {
+				if !valueEqual(state[o.Reg], o.Value) {
+					continue
+				}
+			} else {
+				saved, hadKey = state[o.Reg]
+				state[o.Reg] = o.Value
+			}
+			used[i] = true
+			if rec(placed + 1) {
+				return true
+			}
+			used[i] = false
+			if o.Kind == history.OpWrite {
+				if hadKey {
+					state[o.Reg] = saved
+				} else {
+					delete(state, o.Reg)
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// CheckWaitFree verifies Definition 4 on a recorded history: every
+// operation invoked by a client marked correct has completed. The caller
+// supplies the set of correct clients (crashed clients are exempt).
+func CheckWaitFree(h history.History, correct func(client int) bool) Result {
+	for _, o := range h.Ops {
+		if !o.IsComplete() && correct(o.Client) {
+			return fail("operation %s of correct client %d never completed", o, o.Client)
+		}
+	}
+	return ok
+}

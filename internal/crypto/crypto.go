@@ -1,0 +1,179 @@
+// Package crypto provides the cryptographic substrate of the FAUST
+// reproduction: collision-resistant hashing, digital signatures with
+// domain separation, and keyrings holding the public keys of all clients.
+//
+// The paper (Section 2) assumes a collision-resistant hash function H and
+// a digital signature scheme where only client C_i can sign as C_i and
+// every party can verify. We instantiate H with SHA-256 and signatures
+// with Ed25519 from the Go standard library.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mathrand "math/rand"
+)
+
+// HashSize is the size in bytes of hash values produced by Hash.
+const HashSize = sha256.Size
+
+// Domain tags separate the four signature kinds of Algorithm 1 so that a
+// signature issued for one purpose can never verify for another.
+const (
+	DomainSubmit byte = 1 // SUBMIT-signature sigma on (opcode, register, timestamp)
+	DomainData   byte = 2 // DATA-signature delta on (timestamp, value hash)
+	DomainCommit byte = 3 // COMMIT-signature phi on a version (V, M)
+	DomainProof  byte = 4 // PROOF-signature psi on M[i]
+	// DomainLSChain is used by the lock-step baseline protocol for
+	// signatures over its global hash chain.
+	DomainLSChain byte = 5
+)
+
+// Hash returns the SHA-256 digest of the concatenation of the given byte
+// slices.
+func Hash(parts ...[]byte) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// HashOrNil returns nil when x is nil (the paper's bottom value) and
+// Hash(x) otherwise. The initial value of every register is bottom, and
+// the DATA-signature of a client that has never written covers bottom
+// rather than the hash of an empty string; this helper keeps signer and
+// verifier consistent.
+func HashOrNil(x []byte) []byte {
+	if x == nil {
+		return nil
+	}
+	return Hash(x)
+}
+
+// HashValue is a convenience alias of Hash for a single slice.
+func HashValue(x []byte) []byte { return Hash(x) }
+
+// Signer holds a client's private key and can issue signatures in its
+// name. The zero value is unusable; construct via GenerateKeyring or
+// NewTestKeyring.
+type Signer struct {
+	id  int
+	key ed25519.PrivateKey
+}
+
+// ID returns the client index this signer signs for.
+func (s *Signer) ID() int { return s.id }
+
+// Sign produces a signature over the given domain-separated payload.
+func (s *Signer) Sign(domain byte, payload []byte) []byte {
+	msg := make([]byte, 0, 1+len(payload))
+	msg = append(msg, domain)
+	msg = append(msg, payload...)
+	return ed25519.Sign(s.key, msg)
+}
+
+// Keyring holds the public keys of all n clients and, optionally, the
+// private key of one of them. All parties (clients and the server, if it
+// chose to verify) share the same public keyring.
+type Keyring struct {
+	pubs []ed25519.PublicKey
+}
+
+// N returns the number of clients the keyring covers.
+func (k *Keyring) N() int { return len(k.pubs) }
+
+// Verify checks a signature supposedly issued by client i over the given
+// domain-separated payload. It returns false for out-of-range client
+// indices and malformed signatures rather than panicking: in this protocol
+// a bad signature is evidence of misbehavior, not a programming error.
+func (k *Keyring) Verify(i int, sig []byte, domain byte, payload []byte) bool {
+	if i < 0 || i >= len(k.pubs) {
+		return false
+	}
+	if len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	msg := make([]byte, 0, 1+len(payload))
+	msg = append(msg, domain)
+	msg = append(msg, payload...)
+	return ed25519.Verify(k.pubs[i], msg, sig)
+}
+
+// GenerateKeyring creates a fresh keyring for n clients with cryptographic
+// randomness and returns it together with the n signers.
+func GenerateKeyring(n int) (*Keyring, []*Signer, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("crypto: keyring size must be positive, got %d", n)
+	}
+	ring := &Keyring{pubs: make([]ed25519.PublicKey, n)}
+	signers := make([]*Signer, n)
+	for i := 0; i < n; i++ {
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crypto: generating key %d: %w", i, err)
+		}
+		ring.pubs[i] = pub
+		signers[i] = &Signer{id: i, key: priv}
+	}
+	return ring, signers, nil
+}
+
+// NewTestKeyring creates a deterministic keyring for n clients derived
+// from the given seed. It is intended for tests and benchmarks where
+// reproducibility matters; the keys are NOT secure.
+func NewTestKeyring(n int, seed int64) (*Keyring, []*Signer) {
+	if n <= 0 {
+		panic(fmt.Sprintf("crypto: test keyring size must be positive, got %d", n))
+	}
+	rng := mathrand.New(mathrand.NewSource(seed))
+	ring := &Keyring{pubs: make([]ed25519.PublicKey, n)}
+	signers := make([]*Signer, n)
+	for i := 0; i < n; i++ {
+		seedBytes := make([]byte, ed25519.SeedSize)
+		for j := range seedBytes {
+			seedBytes[j] = byte(rng.Intn(256))
+		}
+		priv := ed25519.NewKeyFromSeed(seedBytes)
+		ring.pubs[i] = priv.Public().(ed25519.PublicKey)
+		signers[i] = &Signer{id: i, key: priv}
+	}
+	return ring, signers
+}
+
+// ErrShortBuffer reports a malformed encoded keyring.
+var ErrShortBuffer = errors.New("crypto: short buffer decoding keyring")
+
+// MarshalKeyring encodes the public keys for distribution to clients, for
+// example over the wire by cmd/faust-server.
+func MarshalKeyring(k *Keyring) []byte {
+	buf := make([]byte, 4, 4+len(k.pubs)*ed25519.PublicKeySize)
+	binary.BigEndian.PutUint32(buf, uint32(len(k.pubs)))
+	for _, p := range k.pubs {
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// UnmarshalKeyring decodes a keyring produced by MarshalKeyring.
+func UnmarshalKeyring(data []byte) (*Keyring, error) {
+	if len(data) < 4 {
+		return nil, ErrShortBuffer
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if n < 0 || len(data) != n*ed25519.PublicKeySize {
+		return nil, ErrShortBuffer
+	}
+	ring := &Keyring{pubs: make([]ed25519.PublicKey, n)}
+	for i := 0; i < n; i++ {
+		key := make([]byte, ed25519.PublicKeySize)
+		copy(key, data[i*ed25519.PublicKeySize:])
+		ring.pubs[i] = key
+	}
+	return ring, nil
+}

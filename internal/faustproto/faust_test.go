@@ -1,0 +1,595 @@
+package faustproto
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"faust/internal/byzantine"
+	"faust/internal/crypto"
+	"faust/internal/offline"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+	"faust/internal/version"
+	"faust/internal/wire"
+)
+
+const waitLong = 10 * time.Second
+
+// fastConfig keeps tests snappy: probe after 50ms silence, poll at 10ms.
+func fastConfig(dummy bool) Config {
+	return Config{
+		ProbeTimeout:      50 * time.Millisecond,
+		PollInterval:      10 * time.Millisecond,
+		DisableDummyReads: !dummy,
+	}
+}
+
+type cluster struct {
+	hub     *offline.Hub
+	network *transport.Network
+	clients []*Client
+}
+
+func newCluster(t *testing.T, n int, core transport.ServerCore, cfg Config, opts ...Option) *cluster {
+	t.Helper()
+	ring, signers := crypto.NewTestKeyring(n, 42)
+	if core == nil {
+		core = ustor.NewServer(n)
+	}
+	nw := transport.NewNetwork(n, core)
+	hub := offline.NewHub(n)
+	cl := &cluster{hub: hub, network: nw, clients: make([]*Client, n)}
+	for i := 0; i < n; i++ {
+		allOpts := append([]Option{WithConfig(cfg)}, opts...)
+		cl.clients[i] = NewClient(i, ring, signers[i], nw.ClientLink(i), hub.Endpoint(i), allOpts...)
+	}
+	t.Cleanup(func() {
+		for _, c := range cl.clients {
+			c.Stop()
+		}
+		nw.Stop()
+		hub.Stop()
+	})
+	return cl
+}
+
+func (cl *cluster) startAll() {
+	for _, c := range cl.clients {
+		c.Start()
+	}
+}
+
+func TestWriteReadWithTimestamps(t *testing.T) {
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	t1, err := cl.clients[0].Write([]byte("hello"))
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if t1 != 1 {
+		t.Fatalf("first timestamp = %d, want 1", t1)
+	}
+	v, t2, err := cl.clients[1].Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("read = %q", v)
+	}
+	if t2 != 1 {
+		t.Fatalf("reader timestamp = %d, want 1", t2)
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	// Definition 5, Integrity.
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	var last int64
+	for i := 0; i < 5; i++ {
+		ts, err := cl.clients[0].Write([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= last {
+			t.Fatalf("timestamp %d after %d", ts, last)
+		}
+		last = ts
+		_, ts2, err := cl.clients[0].Read(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts2 <= ts {
+			t.Fatalf("read timestamp %d after %d", ts2, ts)
+		}
+		last = ts2
+	}
+}
+
+func TestStabilityThroughDummyReads(t *testing.T) {
+	// Detection completeness (Definition 5 property 7), online path: with
+	// a correct server and dummy reads, every operation eventually
+	// becomes stable at its client w.r.t. everyone.
+	cl := newCluster(t, 3, nil, fastConfig(true))
+	cl.startAll()
+	ts, err := cl.clients[0].Write([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.clients[0].WaitStable(ts, waitLong); err != nil {
+		t.Fatalf("operation never became stable: %v", err)
+	}
+	// Accuracy: nobody may have failed.
+	for i, c := range cl.clients {
+		if failed, reason := c.Failed(); failed {
+			t.Fatalf("client %d false-failed: %v", i, reason)
+		}
+	}
+}
+
+func TestStabilityCutMonotonic(t *testing.T) {
+	cl := newCluster(t, 2, nil, fastConfig(true))
+	var mu sync.Mutex
+	var cuts [][]int64
+	c0 := cl.clients[0]
+	c0.onStable = func(w []int64) {
+		mu.Lock()
+		cuts = append(cuts, w)
+		mu.Unlock()
+	}
+	cl.startAll()
+	var lastTS int64
+	for i := 0; i < 5; i++ {
+		ts, err := c0.Write([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastTS = ts
+	}
+	if err := c0.WaitStable(lastTS, waitLong); err != nil {
+		t.Fatalf("stability: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(cuts) == 0 {
+		t.Fatal("no stable notifications delivered")
+	}
+	for k := 1; k < len(cuts); k++ {
+		for j := range cuts[k] {
+			if cuts[k][j] < cuts[k-1][j] {
+				t.Fatalf("stability cut regressed: %v then %v", cuts[k-1], cuts[k])
+			}
+		}
+	}
+}
+
+// TestFigure2StabilityCut reproduces the exact scenario of Figure 2:
+// Alice's notification stable_Alice([10, 8, 3]) — consistent with herself
+// up to timestamp 10, with Bob up to 8, and with Carlos up to 3.
+func TestFigure2StabilityCut(t *testing.T) {
+	cl := newCluster(t, 3, nil, fastConfig(false))
+	cl.startAll()
+	alice, bob, carlos := cl.clients[0], cl.clients[1], cl.clients[2]
+
+	// Alice works; timestamps 1..3.
+	for i := 1; i <= 3; i++ {
+		if _, err := alice.Write([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Carlos observes Alice's register (his version now covers ts 3)...
+	if _, _, err := carlos.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// ...and Alice learns Carlos's version: timestamp 4 for Alice.
+	if _, _, err := alice.Read(2); err != nil {
+		t.Fatal(err)
+	}
+	// Carlos goes to sleep. Alice keeps working: timestamps 5..8.
+	for i := 5; i <= 8; i++ {
+		if _, err := alice.Write([]byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bob catches up on Alice's register (his version covers ts 8)...
+	if _, _, err := bob.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// ...Alice learns Bob's version (ts 9), then writes once more (ts 10).
+	if _, _, err := alice.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := alice.Write([]byte("a10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 10 {
+		t.Fatalf("Alice's last timestamp = %d, want 10", ts)
+	}
+
+	got := alice.StableCut()
+	want := []int64{10, 8, 3}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("stable_Alice(%v), want %v", got, want)
+		}
+	}
+	if !alice.IsStable(3) {
+		t.Fatal("operation 3 must be stable w.r.t. everyone")
+	}
+	if alice.IsStable(4) {
+		t.Fatal("operation 4 must not yet be stable (Carlos is behind)")
+	}
+}
+
+func TestStabilityViaOfflineProbesAfterServerCrash(t *testing.T) {
+	// Detection completeness, offline path: the server crashes right
+	// after a value propagated; the PROBE/VERSION exchange must still
+	// make the operation stable. (Section 6: "a faulty server, even when
+	// it only crashes, may prevent two clients that are consistent ...
+	// from ever discovering that.")
+	const n = 2
+	core := byzantine.NewCrashServer(n, 3) // write0 + read1 + one more, then dead
+	cl := newCluster(t, n, core, fastConfig(false))
+	cl.startAll()
+	c0, c1 := cl.clients[0], cl.clients[1]
+
+	ts, err := c0.Write([]byte("survives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := c1.Read(0); err != nil || string(v) != "survives" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	// The server is now (about to be) dead; no further server round trips
+	// complete. Stability w.r.t. c1 must still arrive via offline probes.
+	if err := c0.WaitStableFor(1, ts, waitLong); err != nil {
+		t.Fatalf("offline stability path failed: %v", err)
+	}
+}
+
+func TestForkDetectedThroughOfflineExchange(t *testing.T) {
+	// The canonical FAUST guarantee: a forking attack that USTOR cannot
+	// see is caught by the offline version exchange, and ALL clients
+	// eventually output fail (Definition 5 properties 5 and 7).
+	const n = 2
+	server, err := byzantine.NewForkingServer(n, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newCluster(t, n, server, fastConfig(false))
+	cl.startAll()
+	c0, c1 := cl.clients[0], cl.clients[1]
+
+	if _, err := c0.Write([]byte("branch-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Write([]byte("branch-b")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c0.WaitFail(waitLong); err != nil {
+		t.Fatalf("client 0 did not detect the fork: %v", err)
+	}
+	if err := c1.WaitFail(waitLong); err != nil {
+		t.Fatalf("client 1 did not detect the fork: %v", err)
+	}
+
+	// At least one client must hold fork evidence (the other may have
+	// been convinced by the FAILURE broadcast).
+	_, e0 := c0.Failed()
+	_, e1 := c1.Failed()
+	var fe *ForkError
+	if !errors.As(e0, &fe) && !errors.As(e1, &fe) {
+		t.Fatalf("no fork evidence: %v / %v", e0, e1)
+	}
+}
+
+func TestNoStabilityAcrossFork(t *testing.T) {
+	// Stability-detection accuracy: once both sides of a fork hold
+	// diverged state, an operation must never become stable across the
+	// fork — the wait ends in a timeout or a fail notification, never in
+	// stability. (Before the other side performs any operation, stability
+	// w.r.t. it is trivially sound: an empty client is consistent with
+	// every view. The paper's VERSION relay exploits that, so the fork
+	// must first be materialized on both branches.)
+	const n = 2
+	server, err := byzantine.NewForkingServer(n, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newCluster(t, n, server, fastConfig(false))
+	cl.startAll()
+	c0, c1 := cl.clients[0], cl.clients[1]
+	if _, err := c1.Write([]byte("theirs")); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := c0.Write([]byte("mine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.WaitStableFor(1, ts, 400*time.Millisecond); err == nil {
+		t.Fatal("operation became stable w.r.t. a forked client")
+	}
+	cut := c0.StableCut()
+	if cut[1] != 0 {
+		t.Fatalf("W[1] = %d, want 0 (no consistency with forked client)", cut[1])
+	}
+	// And detection completeness: the fork is eventually reported.
+	if err := c0.WaitFail(waitLong); err != nil {
+		t.Fatalf("fork never detected: %v", err)
+	}
+}
+
+func TestOperationsFailAfterDetection(t *testing.T) {
+	const n = 2
+	server, err := byzantine.NewForkingServer(n, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newCluster(t, n, server, fastConfig(false))
+	cl.startAll()
+	c0, c1 := cl.clients[0], cl.clients[1]
+	if _, err := c0.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.WaitFail(waitLong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Write([]byte("after")); !errors.Is(err, ErrHalted) {
+		t.Fatalf("write after fail: %v, want ErrHalted", err)
+	}
+	if _, _, err := c0.Read(0); !errors.Is(err, ErrHalted) {
+		t.Fatalf("read after fail: %v, want ErrHalted", err)
+	}
+}
+
+func TestFailHandlerAndBroadcastEvidence(t *testing.T) {
+	const n = 3
+	server, err := byzantine.NewForkingServer(n, [][]int{{0}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fails := map[int]error{}
+	cl := newCluster(t, n, server, fastConfig(false))
+	for i, c := range cl.clients {
+		i := i
+		c.onFail = func(err error) {
+			mu.Lock()
+			fails[i] = err
+			mu.Unlock()
+		}
+	}
+	cl.startAll()
+	for i, c := range cl.clients {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range cl.clients {
+		if err := c.WaitFail(waitLong); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fails) != n {
+		t.Fatalf("fail handlers fired %d times, want %d", len(fails), n)
+	}
+}
+
+func TestBogusFailureEvidenceIgnored(t *testing.T) {
+	// A FAILURE message with invalid evidence must not trigger fail
+	// (failure-detection accuracy) — but note the model trusts bare
+	// FAILURE messages from honest clients, so only the evidence variant
+	// is validated.
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	c0 := cl.clients[0]
+
+	bogus := &wire.Failure{
+		From:        1,
+		HasEvidence: true,
+		EvidenceA:   wire.SignedVersion{Committer: 0, Ver: mkVer(2, 1, 0), Sig: []byte("junk")},
+		EvidenceB:   wire.SignedVersion{Committer: 1, Ver: mkVer(2, 0, 1), Sig: []byte("junk")},
+	}
+	if err := cl.hub.Endpoint(1).Send(0, bogus); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.WaitFail(300 * time.Millisecond); err == nil {
+		t.Fatal("client failed on unverifiable evidence")
+	}
+}
+
+func TestValidFailureEvidenceAccepted(t *testing.T) {
+	// Genuine incomparable signed versions convince any client.
+	ring, signers := crypto.NewTestKeyring(2, 42) // same seed as newCluster
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	c0 := cl.clients[0]
+
+	verA := mkVer(2, 1, 0)
+	verB := mkVer(2, 0, 1)
+	evidence := &wire.Failure{
+		From:        1,
+		HasEvidence: true,
+		EvidenceA: wire.SignedVersion{
+			Committer: 0, Ver: verA,
+			Sig: signers[0].Sign(crypto.DomainCommit, wire.CommitPayload(verA)),
+		},
+		EvidenceB: wire.SignedVersion{
+			Committer: 1, Ver: verB,
+			Sig: signers[1].Sign(crypto.DomainCommit, wire.CommitPayload(verB)),
+		},
+	}
+	_ = ring
+	if err := cl.hub.Endpoint(1).Send(0, evidence); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.WaitFail(waitLong); err != nil {
+		t.Fatalf("verifiable fork evidence ignored: %v", err)
+	}
+}
+
+func TestBareFailureMessageTrusted(t *testing.T) {
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	if err := cl.hub.Endpoint(1).Send(0, &wire.Failure{From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.clients[0].WaitFail(waitLong); err != nil {
+		t.Fatalf("bare FAILURE from honest client ignored: %v", err)
+	}
+}
+
+func TestProbeAnsweredWithVersion(t *testing.T) {
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.clients[0].Start() // client 1 stays un-started; we act as client 1
+	if _, err := cl.clients[0].Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ep1 := cl.hub.Endpoint(1)
+	if err := ep1.Send(0, &wire.Probe{From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(waitLong)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no VERSION reply to probe")
+		default:
+		}
+		if m, ok := ep1.TryRecv(); ok {
+			vm, isVer := m.Body.(*wire.VersionMsg)
+			if !isVer {
+				continue // skip e.g. probes from client 0
+			}
+			if vm.SV.Ver.IsZero() {
+				t.Fatal("probe answered with zero version after a write")
+			}
+			if vm.SV.Ver.V[0] != 1 {
+				t.Fatalf("version does not cover the write: %v", vm.SV.Ver)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLateJoinerCatchesUpViaStoredProbes(t *testing.T) {
+	// Carlos pattern: a client that was offline (not started) receives
+	// buffered probes when it comes online and the prober's cut advances.
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	c0, c1 := cl.clients[0], cl.clients[1]
+	c0.Start() // c1 offline
+
+	ts, err := c0.Write([]byte("early"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1 must observe the op through the server before it can vouch for
+	// it: bring it online and let it read.
+	time.Sleep(100 * time.Millisecond) // let probes accumulate
+	c1.Start()
+	if _, _, err := c1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.WaitStableFor(1, ts, waitLong); err != nil {
+		t.Fatalf("stability after late join: %v", err)
+	}
+}
+
+func TestAuditDetectsFork(t *testing.T) {
+	ring, signers := crypto.NewTestKeyring(2, 9)
+	verA := mkVer(2, 1, 0)
+	verB := mkVer(2, 0, 1)
+	svA := wire.SignedVersion{Committer: 0, Ver: verA, Sig: signers[0].Sign(crypto.DomainCommit, wire.CommitPayload(verA))}
+	svB := wire.SignedVersion{Committer: 1, Ver: verB, Sig: signers[1].Sign(crypto.DomainCommit, wire.CommitPayload(verB))}
+
+	if rep := Audit(ring, []wire.SignedVersion{svA, svB}); rep.OK {
+		t.Fatal("audit missed a fork")
+	}
+	verC := mkVer(2, 1, 1)
+	svC := wire.SignedVersion{Committer: 1, Ver: verC, Sig: signers[1].Sign(crypto.DomainCommit, wire.CommitPayload(verC))}
+	if rep := Audit(ring, []wire.SignedVersion{svA, svC, wire.ZeroSignedVersion(2)}); !rep.OK {
+		t.Fatalf("audit rejected a consistent chain: %s", rep.Reason)
+	}
+}
+
+func TestAuditRejectsBadSignature(t *testing.T) {
+	ring, _ := crypto.NewTestKeyring(2, 9)
+	sv := wire.SignedVersion{Committer: 0, Ver: mkVer(2, 1, 0), Sig: []byte("garbage")}
+	if rep := Audit(ring, []wire.SignedVersion{sv}); rep.OK {
+		t.Fatal("audit accepted a forged version")
+	}
+	svBad := wire.SignedVersion{Committer: 7, Ver: mkVer(2, 1, 0), Sig: []byte("garbage")}
+	if rep := Audit(ring, []wire.SignedVersion{svBad}); rep.OK {
+		t.Fatal("audit accepted an out-of-range committer")
+	}
+}
+
+func TestStopIsNotFailure(t *testing.T) {
+	cl := newCluster(t, 2, nil, fastConfig(true))
+	cl.startAll()
+	if _, err := cl.clients[0].Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	cl.clients[0].Stop()
+	if failed, _ := cl.clients[0].Failed(); failed {
+		t.Fatal("Stop marked the client failed")
+	}
+	if _, err := cl.clients[0].Write([]byte("y")); !errors.Is(err, ErrHalted) {
+		t.Fatalf("op after Stop: %v", err)
+	}
+}
+
+func TestWaitStableTimesOut(t *testing.T) {
+	// Client 1 is fully offline (never started): no dummy reads, no probe
+	// replies. Stability w.r.t. it is unreachable and the wait times out.
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.clients[0].Start()
+	ts, err := cl.clients[0].Write([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.clients[0].WaitStableFor(1, ts, 300*time.Millisecond); err == nil {
+		t.Fatal("stability reported while client 1 is offline")
+	}
+}
+
+func TestVersionRelayMakesIdleClientVouch(t *testing.T) {
+	// The paper's propagation property: a VERSION message from C_j need
+	// not contain a version committed by C_j. An idle-but-online client
+	// relays the maximal version it verified, which legitimately makes
+	// operations stable w.r.t. it (an empty client is consistent with
+	// every view).
+	cl := newCluster(t, 2, nil, fastConfig(false))
+	cl.startAll()
+	ts, err := cl.clients[0].Write([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.clients[0].WaitStableFor(1, ts, waitLong); err != nil {
+		t.Fatalf("offline relay did not establish stability: %v", err)
+	}
+}
+
+// mkVer builds a version with the given timestamp vector and dummy
+// digests in nonzero entries.
+func mkVer(n int, ts ...int64) version.Version {
+	v := version.New(n)
+	for i, t := range ts {
+		v.V[i] = t
+		if t != 0 {
+			v.M[i] = []byte{byte(i + 1)}
+		}
+	}
+	return v
+}

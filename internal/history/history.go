@@ -1,0 +1,325 @@
+// Package history records executions as histories of operation events —
+// the input format of every consistency checker in this repository.
+//
+// The paper (Section 2) models an execution's history as the sequence of
+// invocation and response events of the functionality F. We timestamp
+// both events of every operation with a global logical clock (an atomic
+// counter), which captures exactly the real-time precedence relation
+// o <_sigma o' ("o completes before o' is invoked") needed by the
+// definitions, while remaining cheap enough to record inside benchmarks.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// OpKind identifies read vs write operations. Values start at one so the
+// zero value is invalid.
+type OpKind uint8
+
+const (
+	// OpRead is a read operation read_i(X_j).
+	OpRead OpKind = iota + 1
+	// OpWrite is a write operation write_i(X_i, x).
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Pending marks the Resp field of an operation that never completed.
+const Pending int64 = -1
+
+// Op is one operation of a history.
+type Op struct {
+	// ID is a unique identifier assigned by the recorder (its index in
+	// recording order).
+	ID int
+	// Client is the invoking client index.
+	Client int
+	// Kind says whether this is a read or a write.
+	Kind OpKind
+	// Reg is the register index the operation targets.
+	Reg int
+	// Value is the written value for writes and the returned value for
+	// reads; nil is the paper's bottom (initial value / pending read).
+	Value []byte
+	// Inv and Resp are logical times of the invocation and response
+	// events. Resp == Pending for incomplete operations.
+	Inv, Resp int64
+	// Timestamp is the protocol timestamp returned by the operation
+	// (FAUST extension); zero when not applicable.
+	Timestamp int64
+}
+
+// IsComplete reports whether the operation has a response event.
+func (o Op) IsComplete() bool { return o.Resp != Pending }
+
+// Precedes reports real-time precedence: o completes before p is invoked.
+// A pending operation precedes nothing.
+func (o Op) Precedes(p Op) bool { return o.IsComplete() && o.Resp < p.Inv }
+
+// String renders the op in the paper's notation.
+func (o Op) String() string {
+	val := "_"
+	if o.Value != nil {
+		v := string(o.Value)
+		if len(v) > 12 {
+			v = v[:12] + "…"
+		}
+		val = fmt.Sprintf("%q", v)
+	}
+	if o.Kind == OpWrite {
+		return fmt.Sprintf("write%d(X%d,%s)@[%d,%d]", o.Client, o.Reg, val, o.Inv, o.Resp)
+	}
+	return fmt.Sprintf("read%d(X%d)->%s@[%d,%d]", o.Client, o.Reg, val, o.Inv, o.Resp)
+}
+
+// History is a recorded execution over n clients (and hence n registers).
+type History struct {
+	N   int
+	Ops []Op
+}
+
+// Complete returns the sub-history of complete operations, preserving IDs.
+func (h History) Complete() History {
+	out := History{N: h.N, Ops: make([]Op, 0, len(h.Ops))}
+	for _, o := range h.Ops {
+		if o.IsComplete() {
+			out.Ops = append(out.Ops, o)
+		}
+	}
+	return out
+}
+
+// ByClient returns the operations of client i in invocation order.
+func (h History) ByClient(i int) []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if o.Client == i {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Inv < out[b].Inv })
+	return out
+}
+
+// ByRegister returns the operations touching register r, sorted by
+// invocation time.
+func (h History) ByRegister(r int) []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if o.Reg == r {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Inv < out[b].Inv })
+	return out
+}
+
+// Writes returns all write operations.
+func (h History) Writes() []Op {
+	var out []Op
+	for _, o := range h.Ops {
+		if o.Kind == OpWrite {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the whole history, one op per line, in ID order.
+func (h History) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "history(n=%d, %d ops):\n", h.N, len(h.Ops))
+	for _, o := range h.Ops {
+		fmt.Fprintf(&b, "  %s\n", o.String())
+	}
+	return b.String()
+}
+
+// WellFormed verifies that the per-client subsequences alternate
+// invocation/response (at most one pending op per client, and operations
+// of one client do not overlap). It returns a descriptive error when the
+// history is malformed.
+func (h History) WellFormed() error {
+	for c := 0; c < h.N; c++ {
+		ops := h.ByClient(c)
+		var lastResp int64 = -1
+		for k, o := range ops {
+			if o.Inv <= lastResp {
+				return fmt.Errorf("history: client %d op %s overlaps predecessor", c, o)
+			}
+			if !o.IsComplete() {
+				if k != len(ops)-1 {
+					return fmt.Errorf("history: client %d has op after pending %s", c, o)
+				}
+				continue
+			}
+			if o.Resp <= o.Inv {
+				return fmt.Errorf("history: op %s responds before invocation", o)
+			}
+			lastResp = o.Resp
+		}
+	}
+	return nil
+}
+
+// Recorder accumulates a history from concurrent clients.
+type Recorder struct {
+	n     int
+	clock atomic.Int64
+
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder creates a recorder for n clients.
+func NewRecorder(n int) *Recorder { return &Recorder{n: n} }
+
+// PendingOp is a handle for an invoked-but-not-yet-complete operation.
+type PendingOp struct {
+	r  *Recorder
+	id int
+}
+
+// Invoke records an invocation event and returns a handle to complete it.
+// For writes, value is the written value; for reads pass nil.
+func (r *Recorder) Invoke(client int, kind OpKind, reg int, value []byte) *PendingOp {
+	now := r.clock.Add(1)
+	r.mu.Lock()
+	id := len(r.ops)
+	r.ops = append(r.ops, Op{
+		ID:     id,
+		Client: client,
+		Kind:   kind,
+		Reg:    reg,
+		Value:  value,
+		Inv:    now,
+		Resp:   Pending,
+	})
+	r.mu.Unlock()
+	return &PendingOp{r: r, id: id}
+}
+
+// Complete records the response event. For reads, value is the returned
+// value; for writes pass nil to keep the written value recorded at
+// invocation. ts is the protocol timestamp (0 if not applicable).
+func (p *PendingOp) Complete(value []byte, ts int64) {
+	now := p.r.clock.Add(1)
+	p.r.mu.Lock()
+	op := &p.r.ops[p.id]
+	op.Resp = now
+	op.Timestamp = ts
+	if value != nil {
+		op.Value = value
+	}
+	p.r.mu.Unlock()
+}
+
+// History returns a snapshot of everything recorded so far.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := make([]Op, len(r.ops))
+	copy(ops, r.ops)
+	return History{N: r.n, Ops: ops}
+}
+
+// Builder constructs histories explicitly, for tests that encode specific
+// executions from the paper (e.g. Figure 3). Times are assigned from an
+// internal logical clock; Concurrent blocks let operations overlap.
+type Builder struct {
+	n    int
+	time int64
+	ops  []Op
+}
+
+// NewBuilder creates a builder for n clients.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// Write appends a complete, non-overlapping write_c(X_c, value).
+func (b *Builder) Write(client int, value string) *Builder {
+	b.time++
+	inv := b.time
+	b.time++
+	b.ops = append(b.ops, Op{
+		ID: len(b.ops), Client: client, Kind: OpWrite, Reg: client,
+		Value: []byte(value), Inv: inv, Resp: b.time,
+	})
+	return b
+}
+
+// Read appends a complete, non-overlapping read_c(X_reg) -> value.
+// value == "" records a bottom read (nil).
+func (b *Builder) Read(client, reg int, value string) *Builder {
+	b.time++
+	inv := b.time
+	b.time++
+	var v []byte
+	if value != "" {
+		v = []byte(value)
+	}
+	b.ops = append(b.ops, Op{
+		ID: len(b.ops), Client: client, Kind: OpRead, Reg: reg,
+		Value: v, Inv: inv, Resp: b.time,
+	})
+	return b
+}
+
+// Concurrent appends a set of mutually overlapping complete operations.
+// Each spec is (client, kind, reg, value).
+func (b *Builder) Concurrent(specs ...OpSpec) *Builder {
+	b.time++
+	inv := b.time
+	for _, s := range specs {
+		var v []byte
+		if s.Value != "" {
+			v = []byte(s.Value)
+		}
+		b.time++
+		b.ops = append(b.ops, Op{
+			ID: len(b.ops), Client: s.Client, Kind: s.Kind, Reg: s.Reg,
+			Value: v, Inv: inv, Resp: b.time,
+		})
+	}
+	return b
+}
+
+// PendingWrite appends a write that never completes.
+func (b *Builder) PendingWrite(client int, value string) *Builder {
+	b.time++
+	b.ops = append(b.ops, Op{
+		ID: len(b.ops), Client: client, Kind: OpWrite, Reg: client,
+		Value: []byte(value), Inv: b.time, Resp: Pending,
+	})
+	return b
+}
+
+// OpSpec describes one operation for Builder.Concurrent.
+type OpSpec struct {
+	Client int
+	Kind   OpKind
+	Reg    int
+	Value  string
+}
+
+// History returns the built history.
+func (b *Builder) History() History {
+	ops := make([]Op, len(b.ops))
+	copy(ops, b.ops)
+	return History{N: b.n, Ops: ops}
+}

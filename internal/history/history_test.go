@@ -1,0 +1,197 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	r := NewRecorder(2)
+	p := r.Invoke(0, OpWrite, 0, []byte("u"))
+	p.Complete(nil, 1)
+	q := r.Invoke(1, OpRead, 0, nil)
+	q.Complete([]byte("u"), 1)
+
+	h := r.History()
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(h.Ops))
+	}
+	w, rd := h.Ops[0], h.Ops[1]
+	if w.Kind != OpWrite || string(w.Value) != "u" || w.Timestamp != 1 {
+		t.Fatalf("bad write record: %+v", w)
+	}
+	if rd.Kind != OpRead || string(rd.Value) != "u" {
+		t.Fatalf("bad read record: %+v", rd)
+	}
+	if !w.Precedes(rd) {
+		t.Fatal("sequential ops must be real-time ordered")
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formedness: %v", err)
+	}
+}
+
+func TestPendingOpRecorded(t *testing.T) {
+	r := NewRecorder(1)
+	r.Invoke(0, OpWrite, 0, []byte("x"))
+	h := r.History()
+	if h.Ops[0].IsComplete() {
+		t.Fatal("op without Complete reported complete")
+	}
+	if h.Ops[0].Precedes(h.Ops[0]) {
+		t.Fatal("pending op cannot precede anything")
+	}
+	c := h.Complete()
+	if len(c.Ops) != 0 {
+		t.Fatal("Complete() kept a pending op")
+	}
+}
+
+func TestConcurrentRecordingWellFormed(t *testing.T) {
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := r.Invoke(c, OpWrite, c, []byte{byte(i)})
+				p.Complete(nil, int64(i))
+			}
+		}(c)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h.Ops) != 400 {
+		t.Fatalf("ops = %d, want 400", len(h.Ops))
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formedness: %v", err)
+	}
+}
+
+func TestByClientOrdered(t *testing.T) {
+	h := NewBuilder(2).Write(0, "a").Read(1, 0, "a").Write(0, "b").History()
+	ops := h.ByClient(0)
+	if len(ops) != 2 || string(ops[0].Value) != "a" || string(ops[1].Value) != "b" {
+		t.Fatalf("ByClient(0) = %v", ops)
+	}
+	if len(h.ByClient(1)) != 1 {
+		t.Fatal("ByClient(1) wrong")
+	}
+}
+
+func TestByRegisterAndWrites(t *testing.T) {
+	h := NewBuilder(2).Write(0, "a").Write(1, "b").Read(0, 1, "b").History()
+	if got := len(h.ByRegister(1)); got != 2 {
+		t.Fatalf("ByRegister(1) = %d ops, want 2", got)
+	}
+	if got := len(h.Writes()); got != 2 {
+		t.Fatalf("Writes() = %d, want 2", got)
+	}
+}
+
+func TestBuilderConcurrent(t *testing.T) {
+	h := NewBuilder(2).
+		Concurrent(
+			OpSpec{Client: 0, Kind: OpWrite, Reg: 0, Value: "u"},
+			OpSpec{Client: 1, Kind: OpRead, Reg: 0, Value: ""},
+		).History()
+	a, b := h.Ops[0], h.Ops[1]
+	if a.Precedes(b) || b.Precedes(a) {
+		t.Fatal("Concurrent ops must not be real-time ordered")
+	}
+	if b.Value != nil {
+		t.Fatal("empty value must record bottom (nil)")
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formed: %v", err)
+	}
+}
+
+func TestBuilderPendingWrite(t *testing.T) {
+	h := NewBuilder(1).PendingWrite(0, "v").History()
+	if h.Ops[0].IsComplete() {
+		t.Fatal("pending write reported complete")
+	}
+	if err := h.WellFormed(); err != nil {
+		t.Fatalf("well-formed: %v", err)
+	}
+}
+
+func TestWellFormedRejectsOverlapSameClient(t *testing.T) {
+	h := History{N: 1, Ops: []Op{
+		{ID: 0, Client: 0, Kind: OpWrite, Reg: 0, Inv: 1, Resp: 5},
+		{ID: 1, Client: 0, Kind: OpRead, Reg: 0, Inv: 3, Resp: 6},
+	}}
+	if err := h.WellFormed(); err == nil {
+		t.Fatal("overlapping ops of one client accepted")
+	}
+}
+
+func TestWellFormedRejectsOpAfterPending(t *testing.T) {
+	h := History{N: 1, Ops: []Op{
+		{ID: 0, Client: 0, Kind: OpWrite, Reg: 0, Inv: 1, Resp: Pending},
+		{ID: 1, Client: 0, Kind: OpRead, Reg: 0, Inv: 3, Resp: 4},
+	}}
+	if err := h.WellFormed(); err == nil {
+		t.Fatal("op after pending op accepted")
+	}
+}
+
+func TestWellFormedRejectsBackwardsResponse(t *testing.T) {
+	h := History{N: 1, Ops: []Op{
+		{ID: 0, Client: 0, Kind: OpWrite, Reg: 0, Inv: 5, Resp: 2},
+	}}
+	if err := h.WellFormed(); err == nil {
+		t.Fatal("response before invocation accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	w := Op{Client: 1, Kind: OpWrite, Reg: 1, Value: []byte("u"), Inv: 1, Resp: 2}
+	if !strings.Contains(w.String(), "write1(X1") {
+		t.Fatalf("write string: %s", w.String())
+	}
+	r := Op{Client: 2, Kind: OpRead, Reg: 1, Inv: 3, Resp: 4}
+	if !strings.Contains(r.String(), "read2(X1)->_") {
+		t.Fatalf("bottom read string: %s", r.String())
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := NewBuilder(2).Write(0, "a").History()
+	if !strings.Contains(h.String(), "n=2") {
+		t.Fatalf("history string: %s", h.String())
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if !strings.Contains(OpKind(9).String(), "9") {
+		t.Fatal("unknown OpKind string wrong")
+	}
+}
+
+func TestCompletePreservesIDs(t *testing.T) {
+	r := NewRecorder(1)
+	p0 := r.Invoke(0, OpWrite, 0, []byte("a"))
+	p0.Complete(nil, 1)
+	r.Invoke(0, OpWrite, 0, []byte("b")) // stays pending
+	h := r.History().Complete()
+	if len(h.Ops) != 1 || h.Ops[0].ID != 0 {
+		t.Fatalf("Complete() mangled IDs: %+v", h.Ops)
+	}
+}
+
+func TestReadCompleteKeepsNilForBottom(t *testing.T) {
+	r := NewRecorder(1)
+	p := r.Invoke(0, OpRead, 0, nil)
+	p.Complete(nil, 1)
+	if got := r.History().Ops[0].Value; got != nil {
+		t.Fatalf("bottom read value = %v, want nil", got)
+	}
+}

@@ -1,0 +1,352 @@
+// Package lockstep implements a fork-linearizable — and deliberately
+// blocking — untrusted storage protocol in the style of SUNDR [16] and the
+// lock-step protocol of [5].
+//
+// The server maintains one globally ordered log of operations secured by a
+// hash chain; every record carries its author's signature over the chain
+// value, so the server cannot rewrite or reorder history without
+// detection, and once two clients' chains diverge they can never be
+// joined again (the no-join property of fork-linearizability).
+//
+// The price is the one the paper proves unavoidable (Section 1, [5], [4]):
+// the server admits ONE operation at a time. The REPLY for operation k+1
+// is deferred until the COMMIT of operation k arrives. A client that
+// crashes between REPLY and COMMIT therefore blocks every other client
+// forever — no wait-freedom. USTOR exists precisely to remove this
+// blocking, and the benchmark suite compares the two protocols head to
+// head (experiment E8).
+package lockstep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+	"faust/internal/wire"
+)
+
+// ErrHalted is returned by operations after the client detected server
+// misbehavior.
+var ErrHalted = errors.New("lockstep: client halted after failure detection")
+
+// DetectionError reports a failed integrity check.
+type DetectionError struct {
+	Client int
+	Check  string
+}
+
+// Error implements error.
+func (e *DetectionError) Error() string {
+	return fmt.Sprintf("lockstep: client %d detected faulty server: %s", e.Client, e.Check)
+}
+
+// Server is the correct lock-step server. It implements
+// transport.ServerCore (with unused USTOR handlers) plus
+// transport.GenericCore for the lock-step message kinds.
+type Server struct {
+	mu      sync.Mutex
+	n       int
+	log     []wire.LSRecord
+	values  map[int][]byte // current register values, for serving reads
+	busy    bool           // an admitted operation awaits its COMMIT
+	pending []pendingOp    // queued operations in arrival order
+	push    func(to int, m wire.Message) error
+}
+
+type pendingOp struct {
+	from   int
+	submit *wire.LSSubmit
+}
+
+var (
+	_ transport.ServerCore  = (*Server)(nil)
+	_ transport.GenericCore = (*Server)(nil)
+)
+
+// NewServer creates a correct lock-step server for n clients.
+func NewServer(n int) *Server {
+	return &Server{n: n, values: make(map[int][]byte, n)}
+}
+
+// AttachPusher implements transport.GenericCore.
+func (s *Server) AttachPusher(push func(to int, m wire.Message) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.push = push
+}
+
+// HandleSubmit implements transport.ServerCore; the lock-step protocol
+// does not use USTOR SUBMIT messages.
+func (s *Server) HandleSubmit(int, *wire.Submit) *wire.Reply { return nil }
+
+// HandleCommit implements transport.ServerCore; unused.
+func (s *Server) HandleCommit(int, *wire.Commit) {}
+
+// HandleMessage processes LSSubmit and LSCommit messages.
+func (s *Server) HandleMessage(from int, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.LSSubmit:
+		s.handleSubmit(from, msg)
+	case *wire.LSCommit:
+		s.handleCommit(from, msg)
+	}
+}
+
+func (s *Server) handleSubmit(from int, msg *wire.LSSubmit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, pendingOp{from: from, submit: msg})
+	s.admitLocked()
+}
+
+func (s *Server) handleCommit(from int, msg *wire.LSCommit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.busy {
+		return // spurious commit; a correct client never sends one
+	}
+	rec := msg.Record.Clone()
+	s.log = append(s.log, rec)
+	s.busy = false
+	s.admitLocked()
+}
+
+// admitLocked grants the head of the queue its turn when no operation is
+// active: it sends the deferred LSReply. Caller holds s.mu.
+func (s *Server) admitLocked() {
+	if s.busy || len(s.pending) == 0 || s.push == nil {
+		return
+	}
+	op := s.pending[0]
+	s.pending = s.pending[1:]
+	s.busy = true
+
+	// Writes take effect at admission so the subsequent reads the server
+	// serves (after the commit) return them.
+	if op.submit.Op == wire.OpWrite {
+		s.values[op.submit.Reg] = append([]byte(nil), op.submit.Value...)
+	}
+
+	reply := &wire.LSReply{}
+	have := op.submit.HaveSeq
+	for _, rec := range s.log {
+		if rec.Seq > have {
+			reply.Records = append(reply.Records, rec.Clone())
+		}
+	}
+	if op.submit.Op == wire.OpRead {
+		if v, found := s.values[op.submit.Reg]; found {
+			reply.Value = append([]byte(nil), v...)
+		}
+	}
+	_ = s.push(op.from, reply)
+}
+
+// QueueLen reports the number of operations waiting for admission, plus
+// the active one. Exposed for the blocking experiments.
+func (s *Server) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pending)
+	if s.busy {
+		n++
+	}
+	return n
+}
+
+// Client is the lock-step protocol client. Operations are serialized per
+// client; each performs one LSSubmit -> LSReply round followed by an
+// LSCommit, but the reply arrives only when the server admits the
+// operation — after ALL previously admitted operations have committed.
+type Client struct {
+	id     int
+	n      int
+	signer *crypto.Signer
+	ring   *crypto.Keyring
+	link   transport.Link
+
+	mu       sync.Mutex
+	seq      int64
+	chain    []byte         // hash chain value at seq
+	regHash  map[int][]byte // register -> hash of latest written value
+	failed   bool
+	reason   error
+	onDetect func(error)
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithFailHandler registers a detection callback.
+func WithFailHandler(f func(error)) ClientOption {
+	return func(c *Client) { c.onDetect = f }
+}
+
+// NewClient creates a lock-step client.
+func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transport.Link, opts ...ClientOption) *Client {
+	c := &Client{
+		id:      id,
+		n:       ring.N(),
+		signer:  signer,
+		ring:    ring,
+		link:    link,
+		regHash: make(map[int][]byte, ring.N()),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ID returns the client index.
+func (c *Client) ID() int { return c.id }
+
+// Close closes the transport link.
+func (c *Client) Close() error { return c.link.Close() }
+
+// Failed reports detection state.
+func (c *Client) Failed() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed, c.reason
+}
+
+// Write writes x to the client's own register.
+func (c *Client) Write(x []byte) error {
+	_, err := c.op(wire.OpWrite, c.id, x)
+	return err
+}
+
+// Read reads register j.
+func (c *Client) Read(j int) ([]byte, error) {
+	return c.op(wire.OpRead, j, nil)
+}
+
+// WriteCrashBeforeCommit performs the SUBMIT -> REPLY round and then
+// "crashes": it never sends the COMMIT, leaving the server's lock-step
+// admission stuck. Exists for the blocking experiments (E8); a real
+// client does this involuntarily.
+func (c *Client) WriteCrashBeforeCommit(x []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return ErrHalted
+	}
+	if err := c.link.Send(&wire.LSSubmit{Op: wire.OpWrite, Reg: c.id, Value: x, HaveSeq: c.seq}); err != nil {
+		return fmt.Errorf("lockstep: submit: %w", err)
+	}
+	if _, err := c.awaitReply(); err != nil {
+		return err
+	}
+	return nil // no commit: the protocol is now wedged
+}
+
+func (c *Client) op(op wire.OpCode, reg int, value []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return nil, ErrHalted
+	}
+	if reg < 0 || reg >= c.n {
+		return nil, fmt.Errorf("lockstep: register %d out of range [0,%d)", reg, c.n)
+	}
+	if err := c.link.Send(&wire.LSSubmit{Op: op, Reg: reg, Value: value, HaveSeq: c.seq}); err != nil {
+		return nil, fmt.Errorf("lockstep: submit: %w", err)
+	}
+	reply, err := c.awaitReply()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.applyRecords(reply.Records); err != nil {
+		return nil, err
+	}
+
+	var result []byte
+	var valueHash []byte
+	if op == wire.OpRead {
+		// The returned value must match the chain's belief about the
+		// register.
+		want := c.regHash[reg]
+		got := crypto.HashOrNil(reply.Value)
+		if !bytes.Equal(want, got) {
+			return nil, c.fail("returned value disagrees with the signed operation log")
+		}
+		result = reply.Value
+	} else {
+		valueHash = crypto.Hash(value)
+		c.regHash[reg] = valueHash
+	}
+
+	// Append the own operation to the chain, sign, commit.
+	c.seq++
+	c.chain = crypto.Hash(c.chain, wire.ChainPayload(c.seq, c.id, op, reg, valueHash))
+	rec := wire.LSRecord{
+		Seq:       c.seq,
+		Client:    c.id,
+		Op:        op,
+		Reg:       reg,
+		ValueHash: valueHash,
+		ChainHash: append([]byte(nil), c.chain...),
+		Sig:       c.signer.Sign(crypto.DomainLSChain, c.chain),
+	}
+	if err := c.link.Send(&wire.LSCommit{Record: rec}); err != nil {
+		return nil, fmt.Errorf("lockstep: commit: %w", err)
+	}
+	return result, nil
+}
+
+func (c *Client) awaitReply() (*wire.LSReply, error) {
+	m, err := c.link.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("lockstep: awaiting reply: %w", err)
+	}
+	reply, isReply := m.(*wire.LSReply)
+	if !isReply {
+		return nil, c.fail("server sent a non-LSReply message")
+	}
+	return reply, nil
+}
+
+// applyRecords verifies and replays the log suffix: every record must
+// extend the client's chain with a correctly signed hash.
+func (c *Client) applyRecords(records []wire.LSRecord) error {
+	for _, rec := range records {
+		if rec.Seq != c.seq+1 {
+			return c.fail(fmt.Sprintf("log gap: record %d after local seq %d", rec.Seq, c.seq))
+		}
+		if rec.Client < 0 || rec.Client >= c.n {
+			return c.fail("record names an out-of-range client")
+		}
+		if rec.Op == wire.OpWrite && rec.Reg != rec.Client {
+			return c.fail("record writes a foreign register")
+		}
+		next := crypto.Hash(c.chain, wire.ChainPayload(rec.Seq, rec.Client, rec.Op, rec.Reg, rec.ValueHash))
+		if !bytes.Equal(next, rec.ChainHash) {
+			return c.fail("hash chain mismatch: server forked or rewrote the log")
+		}
+		if !c.ring.Verify(rec.Client, rec.Sig, crypto.DomainLSChain, rec.ChainHash) {
+			return c.fail("invalid signature on log record")
+		}
+		c.seq = rec.Seq
+		c.chain = next
+		if rec.Op == wire.OpWrite {
+			c.regHash[rec.Reg] = append([]byte(nil), rec.ValueHash...)
+		}
+	}
+	return nil
+}
+
+func (c *Client) fail(check string) error {
+	err := &DetectionError{Client: c.id, Check: check}
+	if !c.failed {
+		c.failed = true
+		c.reason = err
+		if c.onDetect != nil {
+			c.onDetect(err)
+		}
+	}
+	return err
+}

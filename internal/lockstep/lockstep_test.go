@@ -1,0 +1,289 @@
+package lockstep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+	"faust/internal/wire"
+)
+
+func newCluster(t *testing.T, n int) (*Server, []*Client, *transport.Network) {
+	t.Helper()
+	ring, signers := crypto.NewTestKeyring(n, 2024)
+	server := NewServer(n)
+	nw := transport.NewNetwork(n, server)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = NewClient(i, ring, signers[i], nw.ClientLink(i))
+	}
+	t.Cleanup(nw.Stop)
+	return server, clients, nw
+}
+
+func TestWriteThenRead(t *testing.T) {
+	_, clients, _ := newCluster(t, 2)
+	if err := clients[0].Write([]byte("u")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := clients[1].Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(v) != "u" {
+		t.Fatalf("read = %q", v)
+	}
+}
+
+func TestReadUnwrittenReturnsBottom(t *testing.T) {
+	_, clients, _ := newCluster(t, 2)
+	v, err := clients[0].Read(1)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("read = %q, want bottom", v)
+	}
+}
+
+func TestSequentialOverwrites(t *testing.T) {
+	_, clients, _ := newCluster(t, 2)
+	for i := 0; i < 5; i++ {
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := clients[0].Write(val); err != nil {
+			t.Fatal(err)
+		}
+		got, err := clients[1].Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(val) {
+			t.Fatalf("read %d = %q, want %q", i, got, val)
+		}
+	}
+}
+
+func TestConcurrentClientsSerialize(t *testing.T) {
+	_, clients, _ := newCluster(t, 4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := clients[c].Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if _, err := clients[c].Read((c + 1) % 4); err != nil {
+					t.Errorf("client %d read: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestBlockingOnCrashedWriter(t *testing.T) {
+	// THE defining difference from USTOR (experiment E8): a client that
+	// crashes between REPLY and COMMIT wedges the whole service.
+	server, clients, _ := newCluster(t, 3)
+	if err := clients[0].WriteCrashBeforeCommit([]byte("wedge")); err != nil {
+		t.Fatalf("crashing write: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_, _ = clients[1].Read(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("read completed although the lock-step protocol is wedged")
+	case <-time.After(200 * time.Millisecond):
+	}
+	if got := server.QueueLen(); got < 2 {
+		t.Fatalf("QueueLen = %d, want >= 2 (wedged op + blocked op)", got)
+	}
+}
+
+// tamperLS wraps a correct lock-step server and corrupts pushed replies.
+type tamperLS struct {
+	inner  *Server
+	mu     sync.Mutex
+	tamper func(to int, m wire.Message) wire.Message
+	push   func(to int, m wire.Message) error
+}
+
+func (tl *tamperLS) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+	return tl.inner.HandleSubmit(from, s)
+}
+func (tl *tamperLS) HandleCommit(from int, c *wire.Commit) { tl.inner.HandleCommit(from, c) }
+func (tl *tamperLS) HandleMessage(from int, m wire.Message) {
+	tl.inner.HandleMessage(from, m)
+}
+func (tl *tamperLS) AttachPusher(push func(to int, m wire.Message) error) {
+	tl.push = push
+	tl.inner.AttachPusher(func(to int, m wire.Message) error {
+		tl.mu.Lock()
+		f := tl.tamper
+		tl.mu.Unlock()
+		if f != nil {
+			m = f(to, m)
+		}
+		return push(to, m)
+	})
+}
+
+func newTamperCluster(t *testing.T, n int, tamper func(to int, m wire.Message) wire.Message) []*Client {
+	t.Helper()
+	ring, signers := crypto.NewTestKeyring(n, 7)
+	core := &tamperLS{inner: NewServer(n), tamper: tamper}
+	nw := transport.NewNetwork(n, core)
+	t.Cleanup(nw.Stop)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = NewClient(i, ring, signers[i], nw.ClientLink(i))
+	}
+	return clients
+}
+
+func TestDetectsTamperedValue(t *testing.T) {
+	clients := newTamperCluster(t, 2, func(to int, m wire.Message) wire.Message {
+		if r, isReply := m.(*wire.LSReply); isReply && r.Value != nil {
+			r.Value[0] ^= 0xFF
+		}
+		return m
+	})
+	if err := clients[0].Write([]byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := clients[1].Read(0)
+	var det *DetectionError
+	if !errors.As(err, &det) {
+		t.Fatalf("corrupted value not detected: %v", err)
+	}
+}
+
+func TestDetectsRewrittenLog(t *testing.T) {
+	clients := newTamperCluster(t, 2, func(to int, m wire.Message) wire.Message {
+		if r, isReply := m.(*wire.LSReply); isReply {
+			for i := range r.Records {
+				if r.Records[i].ValueHash != nil {
+					r.Records[i].ValueHash[0] ^= 0xFF
+				}
+			}
+		}
+		return m
+	})
+	if err := clients[0].Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := clients[1].Read(0)
+	var det *DetectionError
+	if !errors.As(err, &det) {
+		t.Fatalf("rewritten log not detected: %v", err)
+	}
+}
+
+func TestDetectsLogGap(t *testing.T) {
+	clients := newTamperCluster(t, 2, func(to int, m wire.Message) wire.Message {
+		if r, isReply := m.(*wire.LSReply); isReply && len(r.Records) > 0 {
+			r.Records = r.Records[1:] // hide the oldest record
+		}
+		return m
+	})
+	if err := clients[0].Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[0].Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := clients[1].Read(0)
+	var det *DetectionError
+	if !errors.As(err, &det) {
+		t.Fatalf("log gap not detected: %v", err)
+	}
+}
+
+func TestHaltAfterDetection(t *testing.T) {
+	clients := newTamperCluster(t, 2, func(to int, m wire.Message) wire.Message {
+		if r, isReply := m.(*wire.LSReply); isReply && r.Value != nil {
+			r.Value[0] ^= 0xFF
+		}
+		return m
+	})
+	if err := clients[0].Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clients[1].Read(0); err == nil {
+		t.Fatal("expected detection")
+	}
+	if _, err := clients[1].Read(0); !errors.Is(err, ErrHalted) {
+		t.Fatalf("post-detection op: %v, want ErrHalted", err)
+	}
+	failed, reason := clients[1].Failed()
+	if !failed || reason == nil {
+		t.Fatal("Failed() not reporting")
+	}
+}
+
+func TestFailHandlerFires(t *testing.T) {
+	ring, signers := crypto.NewTestKeyring(1, 5)
+	core := &tamperLS{inner: NewServer(1), tamper: func(to int, m wire.Message) wire.Message {
+		if r, isReply := m.(*wire.LSReply); isReply {
+			r.Value = []byte("forged")
+		}
+		return m
+	}}
+	nw := transport.NewNetwork(1, core)
+	t.Cleanup(nw.Stop)
+	var fired int
+	c := NewClient(0, ring, signers[0], nw.ClientLink(0), WithFailHandler(func(error) { fired++ }))
+	if _, err := c.Read(0); err == nil {
+		t.Fatal("expected detection")
+	}
+	if fired != 1 {
+		t.Fatalf("fail handler fired %d times", fired)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	_, clients, _ := newCluster(t, 2)
+	if _, err := clients[0].Read(5); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestClientID(t *testing.T) {
+	_, clients, _ := newCluster(t, 2)
+	if clients[1].ID() != 1 {
+		t.Fatal("ID wrong")
+	}
+}
+
+func TestLockstepMessagesRoundTripCodec(t *testing.T) {
+	rec := wire.LSRecord{
+		Seq: 3, Client: 1, Op: wire.OpWrite, Reg: 1,
+		ValueHash: []byte{1, 2}, ChainHash: []byte{3, 4}, Sig: []byte{5, 6},
+	}
+	msgs := []wire.Message{
+		&wire.LSSubmit{Op: wire.OpRead, Reg: 2, HaveSeq: 7},
+		&wire.LSReply{Records: []wire.LSRecord{rec}, Value: []byte("v")},
+		&wire.LSCommit{Record: rec},
+	}
+	for _, m := range msgs {
+		data := wire.Encode(m)
+		back, err := wire.Decode(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if wire.EncodedSize(back) != len(data) {
+			t.Fatalf("%T: reencode size mismatch", m)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim wires complete clusters — clients, server core, transport,
+// offline hub, history recorder — for integration tests and benchmarks.
+// It is the harness behind the paper-level experiments: run a workload
+// against a correct or Byzantine server, record the history, and hand it
+// to the consistency checkers.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"faust/internal/crypto"
+	"faust/internal/faustproto"
+	"faust/internal/history"
+	"faust/internal/offline"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+	"faust/internal/workload"
+)
+
+// Cluster is a fully wired USTOR (and optionally FAUST) deployment over
+// the in-memory transport with history recording.
+type Cluster struct {
+	N        int
+	Ring     *crypto.Keyring
+	Signers  []*crypto.Signer
+	Net      *transport.Network
+	Hub      *offline.Hub
+	Recorder *history.Recorder
+	Core     transport.ServerCore
+
+	UClients []*ustor.Client
+	FClients []*faustproto.Client
+}
+
+// Options configure a cluster.
+type Options struct {
+	// Core is the server; nil means a correct ustor.Server.
+	Core transport.ServerCore
+	// NetOpts are passed to the in-memory network (delays, metrics).
+	NetOpts []transport.Option
+	// Faust enables the FAUST layer on every client.
+	Faust bool
+	// FaustCfg configures the FAUST layer when enabled.
+	FaustCfg faustproto.Config
+	// KeySeed seeds the deterministic test keyring.
+	KeySeed int64
+}
+
+// NewCluster builds and starts a cluster of n clients.
+func NewCluster(n int, opts Options) *Cluster {
+	if opts.Core == nil {
+		opts.Core = ustor.NewServer(n)
+	}
+	if opts.KeySeed == 0 {
+		opts.KeySeed = 20240610
+	}
+	ring, signers := crypto.NewTestKeyring(n, opts.KeySeed)
+	cl := &Cluster{
+		N:        n,
+		Ring:     ring,
+		Signers:  signers,
+		Net:      transport.NewNetwork(n, opts.Core, opts.NetOpts...),
+		Recorder: history.NewRecorder(n),
+		Core:     opts.Core,
+	}
+	if opts.Faust {
+		cl.Hub = offline.NewHub(n)
+		cl.FClients = make([]*faustproto.Client, n)
+		for i := 0; i < n; i++ {
+			cl.FClients[i] = faustproto.NewClient(i, ring, signers[i],
+				cl.Net.ClientLink(i), cl.Hub.Endpoint(i),
+				faustproto.WithConfig(opts.FaustCfg))
+			cl.FClients[i].Start()
+		}
+		return cl
+	}
+	cl.UClients = make([]*ustor.Client, n)
+	for i := 0; i < n; i++ {
+		cl.UClients[i] = ustor.NewClient(i, ring, signers[i], cl.Net.ClientLink(i))
+	}
+	return cl
+}
+
+// Stop tears the cluster down.
+func (cl *Cluster) Stop() {
+	if cl.FClients != nil {
+		for _, c := range cl.FClients {
+			c.Stop()
+		}
+	}
+	cl.Net.Stop()
+	if cl.Hub != nil {
+		cl.Hub.Stop()
+	}
+}
+
+// Write performs a recorded write by client c.
+func (cl *Cluster) Write(c int, value []byte) error {
+	p := cl.Recorder.Invoke(c, history.OpWrite, c, value)
+	var ts int64
+	var err error
+	if cl.FClients != nil {
+		ts, err = cl.FClients[c].Write(value)
+	} else {
+		var res ustor.OpResult
+		res, err = cl.UClients[c].WriteX(value)
+		ts = res.Timestamp
+	}
+	if err != nil {
+		return err
+	}
+	p.Complete(nil, ts)
+	return nil
+}
+
+// Read performs a recorded read of register reg by client c.
+func (cl *Cluster) Read(c, reg int) ([]byte, error) {
+	p := cl.Recorder.Invoke(c, history.OpRead, reg, nil)
+	var val []byte
+	var ts int64
+	var err error
+	if cl.FClients != nil {
+		val, ts, err = cl.FClients[c].Read(reg)
+	} else {
+		var res ustor.ReadResult
+		res, err = cl.UClients[c].ReadX(reg)
+		val, ts = res.Value, res.Timestamp
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.Complete(val, ts)
+	return val, nil
+}
+
+// Apply executes one generated operation.
+func (cl *Cluster) Apply(op workload.Op) error {
+	if op.IsWrite {
+		return cl.Write(op.Client, op.Value)
+	}
+	_, err := cl.Read(op.Client, op.Reg)
+	return err
+}
+
+// RunWorkload drives opsPerClient operations per client concurrently (one
+// goroutine per client) and returns the first error encountered, if any.
+func (cl *Cluster) RunWorkload(w *workload.Workload, opsPerClient int) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, cl.N)
+	for c := 0; c < cl.N; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stream := w.Stream(c)
+			for i := 0; i < opsPerClient; i++ {
+				if err := cl.Apply(stream.Next()); err != nil {
+					errCh <- fmt.Errorf("client %d op %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// History snapshots the recorded history.
+func (cl *Cluster) History() history.History { return cl.Recorder.History() }

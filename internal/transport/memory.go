@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faust/internal/wire"
+)
+
+// Network is an in-memory star network connecting n clients to one server
+// core over reliable FIFO links. A single dispatcher goroutine delivers
+// client messages to the core one at a time in arrival order, exactly as
+// Algorithm 2 assumes.
+type Network struct {
+	n        int
+	core     ServerCore
+	inbox    *envelopeQueue
+	outboxes []*queue
+	links    []*memoryLink
+
+	metrics bool
+	stats   Stats
+
+	delayMax  time.Duration
+	delayRand *rand.Rand
+	delayMu   sync.Mutex
+
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+	dropped  atomic.Int64 // messages discarded after Stop, for tests
+	pumpGate sync.WaitGroup
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithMetrics enables message counting and size accounting. Sizes are
+// computed with the canonical codec, so in-memory runs report the same
+// bytes a TCP deployment would send.
+func WithMetrics() Option {
+	return func(nw *Network) { nw.metrics = true }
+}
+
+// WithDelay makes every client->server message wait a pseudo-random delay
+// up to max before entering the server inbox. Per-client FIFO order is
+// preserved (each client has its own delay pump); cross-client
+// interleaving becomes nondeterministic, exercising asynchrony.
+func WithDelay(max time.Duration, seed int64) Option {
+	return func(nw *Network) {
+		nw.delayMax = max
+		nw.delayRand = rand.New(rand.NewSource(seed))
+	}
+}
+
+// envelopeQueue is an unbounded FIFO of envelopes with blocking pop.
+type envelopeQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []envelope
+	closed bool
+}
+
+func newEnvelopeQueue() *envelopeQueue {
+	q := &envelopeQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *envelopeQueue) push(e envelope) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, e)
+	q.cond.Signal()
+	return true
+}
+
+func (q *envelopeQueue) pop() (envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return envelope{}, false
+	}
+	e := q.items[0]
+	q.items[0] = envelope{}
+	q.items = q.items[1:]
+	return e, true
+}
+
+func (q *envelopeQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// memoryLink is the client-side endpoint of an in-memory FIFO channel.
+type memoryLink struct {
+	nw     *Network
+	id     int
+	in     *queue // server -> client
+	closed atomic.Bool
+	// sendQ serializes this client's messages through the optional delay
+	// pump so per-client FIFO order survives randomized delays.
+	sendQ *envelopeQueue
+}
+
+var _ Link = (*memoryLink)(nil)
+
+// NewNetwork creates an in-memory network with n client links attached to
+// the given server core and starts the dispatcher.
+func NewNetwork(n int, core ServerCore, opts ...Option) *Network {
+	nw := &Network{
+		n:        n,
+		core:     core,
+		inbox:    newEnvelopeQueue(),
+		outboxes: make([]*queue, n),
+		links:    make([]*memoryLink, n),
+	}
+	for _, o := range opts {
+		o(nw)
+	}
+	for i := 0; i < n; i++ {
+		nw.outboxes[i] = newQueue()
+		nw.links[i] = &memoryLink{nw: nw, id: i, in: nw.outboxes[i]}
+		if nw.delayMax > 0 {
+			l := nw.links[i]
+			l.sendQ = newEnvelopeQueue()
+			nw.pumpGate.Add(1)
+			go nw.delayPump(l)
+		}
+	}
+	if gc, ok := core.(GenericCore); ok {
+		gc.AttachPusher(nw.push)
+	}
+	nw.wg.Add(1)
+	go nw.dispatch()
+	return nw
+}
+
+// push delivers a core-initiated message to client `to`, with metrics.
+func (nw *Network) push(to int, m wire.Message) error {
+	if to < 0 || to >= nw.n {
+		return ErrClosed
+	}
+	if nw.metrics {
+		atomic.AddInt64(&nw.stats.ServerToClientMsgs, 1)
+		atomic.AddInt64(&nw.stats.ServerToClientBytes, int64(wire.EncodedSize(m)))
+	}
+	return nw.outboxes[to].push(m)
+}
+
+// delayPump moves one client's messages into the server inbox after a
+// random delay, preserving that client's FIFO order.
+func (nw *Network) delayPump(l *memoryLink) {
+	defer nw.pumpGate.Done()
+	for {
+		e, ok := l.sendQ.pop()
+		if !ok {
+			return
+		}
+		nw.delayMu.Lock()
+		d := time.Duration(nw.delayRand.Int63n(int64(nw.delayMax) + 1))
+		nw.delayMu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		if !nw.inbox.push(e) {
+			return
+		}
+	}
+}
+
+// dispatch is the server event loop: it pops arriving messages one at a
+// time and runs the core's handler atomically.
+func (nw *Network) dispatch() {
+	defer nw.wg.Done()
+	for {
+		e, ok := nw.inbox.pop()
+		if !ok {
+			return
+		}
+		switch m := e.msg.(type) {
+		case *wire.Submit:
+			reply := nw.core.HandleSubmit(e.from, m)
+			if reply == nil {
+				continue // Byzantine silence: client stays blocked
+			}
+			if nw.metrics {
+				atomic.AddInt64(&nw.stats.ServerToClientMsgs, 1)
+				atomic.AddInt64(&nw.stats.ServerToClientBytes, int64(wire.EncodedSize(reply)))
+			}
+			if err := nw.outboxes[e.from].push(reply); err != nil {
+				nw.dropped.Add(1)
+			}
+		case *wire.Commit:
+			nw.core.HandleCommit(e.from, m)
+		default:
+			if gc, ok := nw.core.(GenericCore); ok {
+				gc.HandleMessage(e.from, e.msg)
+				continue
+			}
+			// Unknown message kinds at the server are dropped; a correct
+			// client never sends them.
+			nw.dropped.Add(1)
+		}
+	}
+}
+
+// ClientLink returns the link endpoint for client i.
+func (nw *Network) ClientLink(i int) Link { return nw.links[i] }
+
+// Stats returns a snapshot of the traffic counters. Valid only when the
+// network was created WithMetrics.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		ClientToServerMsgs:  atomic.LoadInt64(&nw.stats.ClientToServerMsgs),
+		ClientToServerBytes: atomic.LoadInt64(&nw.stats.ClientToServerBytes),
+		ServerToClientMsgs:  atomic.LoadInt64(&nw.stats.ServerToClientMsgs),
+		ServerToClientBytes: atomic.LoadInt64(&nw.stats.ServerToClientBytes),
+	}
+}
+
+// Stop shuts the network down: all links close, blocked Recv calls return
+// ErrClosed, and the dispatcher exits after draining nothing further.
+// Stop is idempotent.
+func (nw *Network) Stop() {
+	if nw.stopped.Swap(true) {
+		return
+	}
+	for _, l := range nw.links {
+		l.closed.Store(true)
+		if l.sendQ != nil {
+			l.sendQ.close()
+		}
+	}
+	nw.pumpGate.Wait()
+	nw.inbox.close()
+	nw.wg.Wait()
+	for _, q := range nw.outboxes {
+		q.close()
+	}
+}
+
+// Send enqueues a message toward the server.
+func (l *memoryLink) Send(m wire.Message) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if l.nw.metrics {
+		atomic.AddInt64(&l.nw.stats.ClientToServerMsgs, 1)
+		atomic.AddInt64(&l.nw.stats.ClientToServerBytes, int64(wire.EncodedSize(m)))
+	}
+	e := envelope{from: l.id, msg: m}
+	if l.sendQ != nil {
+		if !l.sendQ.push(e) {
+			return ErrClosed
+		}
+		return nil
+	}
+	if !l.nw.inbox.push(e) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Recv blocks for the next server message.
+func (l *memoryLink) Recv() (wire.Message, error) {
+	return l.in.pop()
+}
+
+// Close closes only this client's endpoint; the rest of the network keeps
+// running. Used to simulate client crashes.
+func (l *memoryLink) Close() error {
+	l.closed.Store(true)
+	l.in.close()
+	if l.sendQ != nil {
+		l.sendQ.close()
+	}
+	return nil
+}

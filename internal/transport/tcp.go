@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"faust/internal/wire"
+)
+
+// TCP framing: every message is a 4-byte big-endian length followed by the
+// canonical wire encoding. The first frame a client sends is a handshake
+// carrying only its 4-byte client ID.
+//
+// The transport deliberately uses no TLS: the protocol's guarantees come
+// from client-side signatures and are designed for an untrusted server —
+// an attacker on the wire is no stronger than the server itself. Deploy
+// behind TLS anyway if confidentiality matters; the framing is oblivious.
+
+const maxFrame = 1 << 24 // 16 MiB per message is far beyond protocol needs
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// TCPServer hosts a ServerCore on a TCP listener. Message handling is
+// serialized through a single dispatcher, preserving the atomic event
+// handler semantics of Algorithm 2 across connections.
+type TCPServer struct {
+	core ServerCore
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+	wg    sync.WaitGroup
+	inbox *envelopeQueue
+	done  chan struct{}
+}
+
+// ServeTCP starts serving core on ln. It returns immediately; use Stop to
+// shut down.
+func ServeTCP(ln net.Listener, core ServerCore) *TCPServer {
+	s := &TCPServer{
+		core:  core,
+		ln:    ln,
+		conns: make(map[int]net.Conn),
+		inbox: newEnvelopeQueue(),
+		done:  make(chan struct{}),
+	}
+	if gc, ok := core.(GenericCore); ok {
+		gc.AttachPusher(s.pushTo)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.dispatch()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Stop closes the listener and all connections and waits for goroutines.
+func (s *TCPServer) Stop() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	_ = s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.inbox.close()
+	s.wg.Wait()
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	hello, err := readFrame(conn)
+	if err != nil || len(hello) != 4 {
+		_ = conn.Close()
+		return
+	}
+	id := int(binary.BigEndian.Uint32(hello))
+	s.mu.Lock()
+	if old, dup := s.conns[id]; dup {
+		_ = old.Close()
+	}
+	s.conns[id] = conn
+	s.mu.Unlock()
+
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		if !s.inbox.push(envelope{from: id, msg: msg}) {
+			return
+		}
+	}
+}
+
+func (s *TCPServer) dispatch() {
+	defer s.wg.Done()
+	for {
+		e, ok := s.inbox.pop()
+		if !ok {
+			return
+		}
+		switch m := e.msg.(type) {
+		case *wire.Submit:
+			reply := s.core.HandleSubmit(e.from, m)
+			if reply != nil {
+				_ = s.pushTo(e.from, reply)
+			}
+		case *wire.Commit:
+			s.core.HandleCommit(e.from, m)
+		default:
+			if gc, ok := s.core.(GenericCore); ok {
+				gc.HandleMessage(e.from, e.msg)
+			}
+		}
+	}
+}
+
+func (s *TCPServer) pushTo(to int, m wire.Message) error {
+	s.mu.Lock()
+	conn, found := s.conns[to]
+	s.mu.Unlock()
+	if !found {
+		return fmt.Errorf("transport: client %d not connected", to)
+	}
+	return writeFrame(conn, wire.Encode(m))
+}
+
+// tcpLink is the client-side Link over one TCP connection.
+type tcpLink struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	rmu  sync.Mutex
+}
+
+var _ Link = (*tcpLink)(nil)
+
+// DialTCP connects client id to a TCPServer at addr and performs the
+// handshake.
+func DialTCP(addr string, id int) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(id))
+	if err := writeFrame(conn, hello[:]); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	return &tcpLink{conn: conn}, nil
+}
+
+// Send implements Link.
+func (l *tcpLink) Send(m wire.Message) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := writeFrame(l.conn, wire.Encode(m)); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Link.
+func (l *tcpLink) Recv() (wire.Message, error) {
+	l.rmu.Lock()
+	defer l.rmu.Unlock()
+	payload, err := readFrame(l.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return m, nil
+}
+
+// Close implements Link.
+func (l *tcpLink) Close() error { return l.conn.Close() }

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"faust/internal/wire"
+)
+
+func startTCP(t *testing.T, core ServerCore) (*TCPServer, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := ServeTCP(ln, core)
+	t.Cleanup(srv.Stop)
+	return srv, ln.Addr().String()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	core := &echoCore{}
+	_, addr := startTCP(t, core)
+	link, err := DialTCP(addr, 0)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer link.Close()
+	if err := link.Send(&wire.Submit{T: 9}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := link.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if got := m.(*wire.Reply).C; got != 9 {
+		t.Fatalf("reply.C = %d, want 9", got)
+	}
+}
+
+func TestTCPFIFOPerClient(t *testing.T) {
+	core := &echoCore{}
+	_, addr := startTCP(t, core)
+	link, err := DialTCP(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	for i := 0; i < 50; i++ {
+		if err := link.Send(&wire.Submit{T: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		m, err := link.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.(*wire.Reply).C; got != i {
+			t.Fatalf("reply %d out of order: %d", i, got)
+		}
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	core := &echoCore{}
+	_, addr := startTCP(t, core)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			link, err := DialTCP(addr, c)
+			if err != nil {
+				t.Errorf("client %d dial: %v", c, err)
+				return
+			}
+			defer link.Close()
+			for i := 0; i < 20; i++ {
+				if err := link.Send(&wire.Submit{T: int64(i)}); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				m, err := link.Recv()
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if got := m.(*wire.Reply).C; got != i {
+					t.Errorf("client %d reply %d: got %d", c, i, got)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestTCPCommitDelivered(t *testing.T) {
+	core := &echoCore{}
+	_, addr := startTCP(t, core)
+	link, err := DialTCP(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	for i := 0; i < 5; i++ {
+		if err := link.Send(&wire.Commit{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = link.Send(&wire.Submit{T: 1})
+	if _, err := link.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	core.mu.Lock()
+	defer core.mu.Unlock()
+	if len(core.commits) != 5 {
+		t.Fatalf("commits = %d, want 5", len(core.commits))
+	}
+}
+
+func TestTCPRecvFailsAfterStop(t *testing.T) {
+	core := &echoCore{}
+	srv, addr := startTCP(t, core)
+	link, err := DialTCP(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := link.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv succeeded after server stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestTCPDialUnreachable(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1", 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

@@ -1,0 +1,116 @@
+// Package trusted implements the baseline everyone implicitly compares
+// against: a plain register service on a server that the clients fully
+// trust. No signatures, no versions, no checks — a single request-reply
+// round per operation.
+//
+// It exists to isolate the price of fail-awareness: the benchmark suite
+// (experiment E14) measures USTOR and FAUST against this baseline on the
+// same transport.
+package trusted
+
+import (
+	"fmt"
+	"sync"
+
+	"faust/internal/transport"
+	"faust/internal/wire"
+)
+
+// Server is the trusted register server.
+type Server struct {
+	mu     sync.Mutex
+	n      int
+	values [][]byte
+}
+
+var _ transport.ServerCore = (*Server)(nil)
+
+// NewServer creates a trusted server for n registers.
+func NewServer(n int) *Server {
+	return &Server{n: n, values: make([][]byte, n)}
+}
+
+// HandleSubmit stores writes and serves reads immediately.
+func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 || from >= s.n {
+		return nil
+	}
+	if m.Inv.Op == wire.OpWrite {
+		s.values[from] = append([]byte(nil), m.Value...)
+		return &wire.Reply{C: from, CVer: wire.ZeroSignedVersion(0)}
+	}
+	j := m.Inv.Reg
+	if j < 0 || j >= s.n {
+		return nil
+	}
+	var v []byte
+	if s.values[j] != nil {
+		v = append([]byte(nil), s.values[j]...)
+	}
+	return &wire.Reply{
+		IsRead: true,
+		C:      from,
+		CVer:   wire.ZeroSignedVersion(0),
+		Mem:    wire.MemEntry{Value: v},
+	}
+}
+
+// HandleCommit is unused; the trusted protocol has no commits.
+func (s *Server) HandleCommit(int, *wire.Commit) {}
+
+// Client is the trusted protocol client.
+type Client struct {
+	id   int
+	n    int
+	link transport.Link
+	mu   sync.Mutex
+}
+
+// NewClient creates a trusted client.
+func NewClient(id, n int, link transport.Link) *Client {
+	return &Client{id: id, n: n, link: link}
+}
+
+// Write stores x in the client's own register.
+func (c *Client) Write(x []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.link.Send(&wire.Submit{
+		Inv:   wire.Invocation{Client: c.id, Op: wire.OpWrite, Reg: c.id},
+		Value: x,
+	}); err != nil {
+		return fmt.Errorf("trusted: submit: %w", err)
+	}
+	if _, err := c.link.Recv(); err != nil {
+		return fmt.Errorf("trusted: reply: %w", err)
+	}
+	return nil
+}
+
+// Read returns the value of register j.
+func (c *Client) Read(j int) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j < 0 || j >= c.n {
+		return nil, fmt.Errorf("trusted: register %d out of range [0,%d)", j, c.n)
+	}
+	if err := c.link.Send(&wire.Submit{
+		Inv: wire.Invocation{Client: c.id, Op: wire.OpRead, Reg: j},
+	}); err != nil {
+		return nil, fmt.Errorf("trusted: submit: %w", err)
+	}
+	m, err := c.link.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("trusted: reply: %w", err)
+	}
+	reply, isReply := m.(*wire.Reply)
+	if !isReply {
+		return nil, fmt.Errorf("trusted: unexpected message %T", m)
+	}
+	return reply.Mem.Value, nil
+}
+
+// Close closes the transport link.
+func (c *Client) Close() error { return c.link.Close() }

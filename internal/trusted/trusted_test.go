@@ -1,0 +1,90 @@
+package trusted
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"faust/internal/transport"
+)
+
+func newCluster(t *testing.T, n int) []*Client {
+	t.Helper()
+	nw := transport.NewNetwork(n, NewServer(n))
+	t.Cleanup(nw.Stop)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = NewClient(i, n, nw.ClientLink(i))
+	}
+	return clients
+}
+
+func TestWriteThenRead(t *testing.T) {
+	clients := newCluster(t, 2)
+	if err := clients[0].Write([]byte("u")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := clients[1].Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(v) != "u" {
+		t.Fatalf("read = %q", v)
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	clients := newCluster(t, 2)
+	v, err := clients[1].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("read = %q, want bottom", v)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	clients := newCluster(t, 2)
+	if _, err := clients[0].Read(9); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	clients := newCluster(t, 4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := clients[c].Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if _, err := clients[c].Read((c + 1) % 4); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestLastWriteWins(t *testing.T) {
+	clients := newCluster(t, 1)
+	for i := 0; i < 3; i++ {
+		if err := clients[0].Write([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := clients[0].Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "c" {
+		t.Fatalf("read = %q, want c", v)
+	}
+}

@@ -1,0 +1,418 @@
+package ustor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+	"faust/internal/version"
+	"faust/internal/wire"
+)
+
+// ErrHalted is returned by every operation after the client has detected
+// server misbehavior and halted ("outputs fail_i ... and halts").
+var ErrHalted = errors.New("ustor: client halted after failure detection")
+
+// DetectionError reports which of Algorithm 1's checks exposed the server.
+// It is the payload of the fail_i output action.
+type DetectionError struct {
+	Client int    // detecting client
+	Check  string // which protocol check failed, in the paper's terms
+}
+
+// Error implements error.
+func (e *DetectionError) Error() string {
+	return fmt.Sprintf("ustor: client %d detected faulty server: %s", e.Client, e.Check)
+}
+
+// OpResult is the extended part of a completed operation's response: the
+// version the operation committed (with its COMMIT-signature) and the
+// operation's timestamp t = V[i]. The FAUST layer consumes both.
+type OpResult struct {
+	Version   wire.SignedVersion
+	Timestamp int64
+}
+
+// ReadResult extends OpResult for reads with the returned register value
+// and the writer's signed version SVER[j] from the REPLY.
+type ReadResult struct {
+	OpResult
+	Value         []byte
+	WriterVersion wire.SignedVersion
+}
+
+// Client is the USTOR client of Algorithm 1. A Client executes operations
+// sequentially (concurrent calls are serialized internally, matching the
+// well-formedness assumption of the model). It is wait-free as long as
+// the server responds: an operation performs exactly one SUBMIT -> REPLY
+// round and never waits for other clients.
+type Client struct {
+	id     int
+	n      int
+	signer *crypto.Signer
+	ring   *crypto.Keyring
+	link   transport.Link
+	onFail func(error)
+
+	mu        sync.Mutex
+	xbar      []byte          // hash of the most recently written value; nil = bottom
+	ver       version.Version // (V_i, M_i)
+	failed    bool
+	reason    error
+	piggyback bool
+	pending   *wire.Commit // deferred COMMIT awaiting the next SUBMIT
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithFailHandler registers a callback invoked exactly once when the
+// client detects server misbehavior (the fail_i output action). The
+// callback runs on the operation's goroutine before the operation returns.
+func WithFailHandler(f func(error)) ClientOption {
+	return func(c *Client) { c.onFail = f }
+}
+
+// WithCommitPiggyback enables the Section 5 optimization: instead of
+// sending a separate COMMIT message after each operation, the COMMIT is
+// attached to the next operation's SUBMIT, halving the client's message
+// count. The protocol is unchanged otherwise — the client's operations
+// merely stay in the server's concurrent list L a little longer. Call
+// Flush before abandoning the client to deliver the final COMMIT.
+func WithCommitPiggyback() ClientOption {
+	return func(c *Client) { c.piggyback = true }
+}
+
+// NewClient creates the USTOR client for client index id out of ring.N()
+// clients, communicating over link.
+func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transport.Link, opts ...ClientOption) *Client {
+	c := &Client{
+		id:     id,
+		n:      ring.N(),
+		signer: signer,
+		ring:   ring,
+		link:   link,
+		ver:    version.New(ring.N()),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// ID returns the client index.
+func (c *Client) ID() int { return c.id }
+
+// N returns the number of clients.
+func (c *Client) N() int { return c.n }
+
+// Failed reports whether the client has detected server misbehavior, and
+// the detection error if so.
+func (c *Client) Failed() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed, c.reason
+}
+
+// Version returns the client's current version (a copy).
+func (c *Client) Version() version.Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver.Clone()
+}
+
+// Close closes the transport link, unblocking any pending operation.
+func (c *Client) Close() error { return c.link.Close() }
+
+// Write implements write_i(X_i, x) (Algorithm 1 lines 8-10).
+func (c *Client) Write(x []byte) error {
+	_, err := c.WriteX(x)
+	return err
+}
+
+// Read implements read_i(X_j) (Algorithm 1 lines 21-23).
+func (c *Client) Read(j int) ([]byte, error) {
+	res, err := c.ReadX(j)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// WriteX is the extended write (Algorithm 1 lines 11-20): identical to
+// Write but additionally returns the committed version.
+func (c *Client) WriteX(x []byte) (OpResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return OpResult{}, ErrHalted
+	}
+
+	t := c.ver.V[c.id] + 1
+	c.xbar = crypto.HashOrNil(x)
+	sigma := c.signer.Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, c.id, t))
+	delta := c.signer.Sign(crypto.DomainData, wire.DataPayload(t, c.xbar))
+
+	submit := &wire.Submit{
+		T:         t,
+		Inv:       wire.Invocation{Client: c.id, Op: wire.OpWrite, Reg: c.id, SubmitSig: sigma},
+		Value:     x,
+		DataSig:   delta,
+		Piggyback: c.takePending(),
+	}
+	if err := c.link.Send(submit); err != nil {
+		return OpResult{}, fmt.Errorf("ustor: submitting write: %w", err)
+	}
+
+	reply, err := c.recvReply(false)
+	if err != nil {
+		return OpResult{}, err
+	}
+	if err := c.updateVersion(reply); err != nil {
+		return OpResult{}, err
+	}
+	sv, err := c.commit()
+	if err != nil {
+		return OpResult{}, err
+	}
+	return OpResult{Version: sv, Timestamp: c.ver.V[c.id]}, nil
+}
+
+// ReadX is the extended read (Algorithm 1 lines 24-33): identical to Read
+// but additionally returns the committed version and the writer's signed
+// version.
+func (c *Client) ReadX(j int) (ReadResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return ReadResult{}, ErrHalted
+	}
+	if j < 0 || j >= c.n {
+		return ReadResult{}, fmt.Errorf("ustor: register %d out of range [0,%d)", j, c.n)
+	}
+
+	t := c.ver.V[c.id] + 1
+	sigma := c.signer.Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpRead, j, t))
+	delta := c.signer.Sign(crypto.DomainData, wire.DataPayload(t, c.xbar))
+
+	submit := &wire.Submit{
+		T:         t,
+		Inv:       wire.Invocation{Client: c.id, Op: wire.OpRead, Reg: j, SubmitSig: sigma},
+		DataSig:   delta,
+		Piggyback: c.takePending(),
+	}
+	if err := c.link.Send(submit); err != nil {
+		return ReadResult{}, fmt.Errorf("ustor: submitting read: %w", err)
+	}
+
+	reply, err := c.recvReply(true)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if err := c.updateVersion(reply); err != nil {
+		return ReadResult{}, err
+	}
+	if err := c.checkData(reply, j); err != nil {
+		return ReadResult{}, err
+	}
+	sv, err := c.commit()
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return ReadResult{
+		OpResult:      OpResult{Version: sv, Timestamp: c.ver.V[c.id]},
+		Value:         reply.Mem.Value,
+		WriterVersion: reply.JVer.Clone(),
+	}, nil
+}
+
+// recvReply waits for the REPLY message. A response of the wrong shape is
+// itself evidence of server misbehavior.
+func (c *Client) recvReply(isRead bool) (*wire.Reply, error) {
+	m, err := c.link.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("ustor: awaiting reply: %w", err)
+	}
+	reply, ok := m.(*wire.Reply)
+	if !ok {
+		return nil, c.fail("server sent a non-REPLY message")
+	}
+	if reply.IsRead != isRead {
+		return nil, c.fail("REPLY kind does not match the submitted operation")
+	}
+	if err := c.validateReplyShape(reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// validateReplyShape rejects structurally malformed replies before the
+// protocol checks run. A correct server can never produce these.
+func (c *Client) validateReplyShape(r *wire.Reply) error {
+	if r.C < 0 || r.C >= c.n {
+		return c.fail("REPLY names an out-of-range committing client")
+	}
+	if r.CVer.Ver.N() != c.n || len(r.CVer.Ver.M) != c.n {
+		return c.fail("REPLY carries a version of the wrong dimension")
+	}
+	if len(r.P) != c.n {
+		return c.fail("REPLY carries a PROOF array of the wrong dimension")
+	}
+	if r.IsRead && (r.JVer.Ver.N() != c.n || len(r.JVer.Ver.M) != c.n) {
+		return c.fail("REPLY carries a writer version of the wrong dimension")
+	}
+	for _, inv := range r.L {
+		if inv.Client < 0 || inv.Client >= c.n {
+			return c.fail("invocation tuple names an out-of-range client")
+		}
+		if inv.Op != wire.OpRead && inv.Op != wire.OpWrite {
+			return c.fail("invocation tuple carries an invalid opcode")
+		}
+		if inv.Reg < 0 || inv.Reg >= c.n {
+			return c.fail("invocation tuple names an out-of-range register")
+		}
+	}
+	return nil
+}
+
+// updateVersion implements Algorithm 1 lines 34-47: verify the largest
+// committed version shown by the server, adopt it, and advance it over the
+// concurrent operations listed in L, checking every tuple's signatures and
+// extending the digest chain.
+func (c *Client) updateVersion(r *wire.Reply) error {
+	vc, mc := r.CVer.Ver, r.CVer.Ver.M
+
+	// Line 35: the shown version is either the initial one or carries a
+	// valid COMMIT-signature by client C_c.
+	if !vc.IsZero() {
+		if !c.ring.Verify(r.C, r.CVer.Sig, crypto.DomainCommit, wire.CommitPayload(vc)) {
+			return c.fail("COMMIT-signature on SVER[c] invalid (line 35)")
+		}
+	}
+	// Line 36: the shown version extends the client's own version and
+	// agrees on the client's own timestamp.
+	if !c.ver.LessEq(vc) || vc.V[c.id] != c.ver.V[c.id] {
+		return c.fail("server version does not extend own version (line 36)")
+	}
+
+	// Line 37: adopt (V_c, M_c).
+	c.ver = vc.Clone()
+
+	// Lines 38-45: walk the concurrent operations.
+	d := mc[r.C]
+	for _, inv := range r.L {
+		k := inv.Client
+		// Line 41: the previous operation of C_k must be committed and
+		// covered by the PROOF-signature the server presents.
+		if c.ver.M[k] != nil {
+			if !c.ring.Verify(k, r.P[k], crypto.DomainProof, wire.ProofPayload(c.ver.M[k])) {
+				return c.fail("PROOF-signature for concurrent operation invalid (line 41)")
+			}
+		}
+		// Line 42: account for C_k's operation.
+		c.ver.V[k]++
+		// Line 43: no client is concurrent with itself, and the
+		// SUBMIT-signature must cover the expected timestamp.
+		if k == c.id {
+			return c.fail("own operation listed as concurrent (line 43)")
+		}
+		if !c.ring.Verify(k, inv.SubmitSig, crypto.DomainSubmit,
+			wire.SubmitPayload(inv.Op, inv.Reg, c.ver.V[k])) {
+			return c.fail("SUBMIT-signature for concurrent operation invalid (line 43)")
+		}
+		// Lines 44-45: extend the digest chain.
+		d = version.DigestStep(d, k)
+		c.ver.M[k] = d
+	}
+
+	// Lines 46-47: append the own operation.
+	c.ver.V[c.id]++
+	c.ver.M[c.id] = version.DigestStep(d, c.id)
+	return nil
+}
+
+// checkData implements Algorithm 1 lines 48-52: validate the returned
+// register value and the writer's version against the adopted version.
+func (c *Client) checkData(r *wire.Reply, j int) error {
+	vj := r.JVer.Ver
+	tj, xj := r.Mem.T, r.Mem.Value
+
+	// Line 49: the writer's version is initial or properly signed by C_j.
+	if !vj.IsZero() {
+		if !c.ring.Verify(j, r.JVer.Sig, crypto.DomainCommit, wire.CommitPayload(vj)) {
+			return c.fail("COMMIT-signature on SVER[j] invalid (line 49)")
+		}
+	}
+	// Line 50: the value integrity check via the DATA-signature.
+	if tj != 0 {
+		if !c.ring.Verify(j, r.Mem.DataSig, crypto.DomainData,
+			wire.DataPayload(tj, crypto.HashOrNil(xj))) {
+			return c.fail("DATA-signature on returned value invalid (line 50)")
+		}
+	}
+	// Line 51: the writer's version is no newer than the adopted one, and
+	// the returned timestamp matches C_j's last operation in the view.
+	if !vj.LessEq(r.CVer.Ver) || tj != c.ver.V[j] {
+		return c.fail("returned value is not from the latest operation of the writer (line 51)")
+	}
+	// Line 52: the writer's own entry is current or one behind (its COMMIT
+	// may still be in flight).
+	if vj.V[j] != tj && vj.V[j] != tj-1 {
+		return c.fail("writer version timestamp inconsistent with returned value (line 52)")
+	}
+	return nil
+}
+
+// commit signs the COMMIT message (lines 18-19 / 31-32) and either sends
+// it immediately or defers it to the next SUBMIT (piggyback mode). It
+// returns the signed version for the caller.
+func (c *Client) commit() (wire.SignedVersion, error) {
+	phi := c.signer.Sign(crypto.DomainCommit, wire.CommitPayload(c.ver))
+	psi := c.signer.Sign(crypto.DomainProof, wire.ProofPayload(c.ver.M[c.id]))
+	msg := &wire.Commit{Ver: c.ver.Clone(), CommitSig: phi, ProofSig: psi}
+	if c.piggyback {
+		c.pending = msg
+	} else if err := c.link.Send(msg); err != nil {
+		return wire.SignedVersion{}, fmt.Errorf("ustor: sending commit: %w", err)
+	}
+	return wire.SignedVersion{Committer: c.id, Ver: c.ver.Clone(), Sig: phi}, nil
+}
+
+// takePending returns and clears the deferred COMMIT. Caller holds c.mu.
+func (c *Client) takePending() *wire.Commit {
+	msg := c.pending
+	c.pending = nil
+	return msg
+}
+
+// Flush sends any deferred COMMIT immediately. Only meaningful in
+// piggyback mode; a no-op otherwise. Call before a graceful shutdown so
+// the client's last operation leaves the server's concurrent list.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg := c.takePending()
+	if msg == nil {
+		return nil
+	}
+	if err := c.link.Send(msg); err != nil {
+		return fmt.Errorf("ustor: flushing commit: %w", err)
+	}
+	return nil
+}
+
+// fail records the detection, fires the fail_i output action once, halts
+// the client, and returns the detection error.
+func (c *Client) fail(check string) error {
+	err := &DetectionError{Client: c.id, Check: check}
+	if !c.failed {
+		c.failed = true
+		c.reason = err
+		if c.onFail != nil {
+			c.onFail(err)
+		}
+	}
+	return err
+}

@@ -1,0 +1,202 @@
+package ustor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+	"faust/internal/version"
+	"faust/internal/wire"
+)
+
+// TestPropertyVersionChainInvariants drives random concurrent workloads
+// against a correct server (with randomized delivery delays) and checks
+// the protocol-level invariants Section 5 proves:
+//
+//  1. all committed versions are pairwise comparable (one chain);
+//  2. two versions with equal timestamp vectors are identical (the digest
+//     side-condition of Definition 7 never disambiguates honest runs);
+//  3. per client, successive committed versions strictly grow;
+//  4. every version's own entry equals the operation's timestamp.
+func TestPropertyVersionChainInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const n, ops = 4, 15
+			ring, signers := crypto.NewTestKeyring(n, seed)
+			nw := transport.NewNetwork(n, NewServer(n))
+			defer nw.Stop()
+			clients := make([]*Client, n)
+			for i := 0; i < n; i++ {
+				clients[i] = NewClient(i, ring, signers[i], nw.ClientLink(i))
+			}
+
+			type stamped struct {
+				client int
+				ts     int64
+				ver    version.Version
+			}
+			var mu sync.Mutex
+			var all []stamped
+			perClient := make([][]stamped, n)
+
+			var wg sync.WaitGroup
+			for c := 0; c < n; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed*100 + int64(c)))
+					for i := 0; i < ops; i++ {
+						var res OpResult
+						var err error
+						if rng.Intn(2) == 0 {
+							res, err = clients[c].WriteX([]byte(fmt.Sprintf("s%d-c%d-%d", seed, c, i)))
+						} else {
+							var rr ReadResult
+							rr, err = clients[c].ReadX(rng.Intn(n))
+							res = rr.OpResult
+						}
+						if err != nil {
+							t.Errorf("client %d: %v", c, err)
+							return
+						}
+						mu.Lock()
+						s := stamped{client: c, ts: res.Timestamp, ver: res.Version.Ver}
+						all = append(all, s)
+						perClient[c] = append(perClient[c], s)
+						mu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+
+			// Invariant 1 + 2.
+			for i := range all {
+				for j := i + 1; j < len(all); j++ {
+					a, b := all[i].ver, all[j].ver
+					if !version.Comparable(a, b) {
+						t.Fatalf("incomparable versions on an honest run:\n%v\n%v", a, b)
+					}
+					if vectorEqual(a.V, b.V) && !a.Equal(b) {
+						t.Fatalf("same timestamp vector, different digests:\n%v\n%v", a, b)
+					}
+				}
+			}
+			// Invariant 3 + 4.
+			for c := 0; c < n; c++ {
+				for k, s := range perClient[c] {
+					if s.ver.V[c] != s.ts {
+						t.Fatalf("client %d op %d: own entry %d != timestamp %d",
+							c, k, s.ver.V[c], s.ts)
+					}
+					if k > 0 {
+						prev := perClient[c][k-1]
+						if !prev.ver.Less(s.ver) {
+							t.Fatalf("client %d: version did not grow:\n%v\n%v",
+								c, prev.ver, s.ver)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func vectorEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyReaderSeesFreshEnoughValue checks the regularity-style
+// guarantee implied by line 51: a read returns the value of the writer's
+// latest operation in the reader's view — with a single writer doing
+// sequential writes and a concurrent reader, every read returns either
+// the last completed write or the one in flight.
+func TestPropertyReaderSeesFreshEnoughValue(t *testing.T) {
+	const writes = 40
+	ring, signers := crypto.NewTestKeyring(2, 9)
+	nw := transport.NewNetwork(2, NewServer(2))
+	defer nw.Stop()
+	writer := NewClient(0, ring, signers[0], nw.ClientLink(0))
+	reader := NewClient(1, ring, signers[1], nw.ClientLink(1))
+
+	var mu sync.Mutex
+	completed := -1 // index of the last completed write
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < writes; i++ {
+			if err := writer.Write([]byte(fmt.Sprintf("w%04d", i))); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			mu.Lock()
+			completed = i
+			mu.Unlock()
+		}
+	}()
+
+	for {
+		select {
+		case <-done:
+			// Final read must return the last write.
+			v, err := reader.Read(0)
+			if err != nil {
+				t.Fatalf("final read: %v", err)
+			}
+			if string(v) != fmt.Sprintf("w%04d", writes-1) {
+				t.Fatalf("final read = %q", v)
+			}
+			return
+		default:
+		}
+		mu.Lock()
+		floor := completed
+		mu.Unlock()
+		v, err := reader.Read(0)
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		if floor >= 0 {
+			var got int
+			if v == nil {
+				t.Fatalf("bottom read after write %d completed", floor)
+			}
+			if _, err := fmt.Sscanf(string(v), "w%04d", &got); err != nil {
+				t.Fatalf("unparseable value %q", v)
+			}
+			if got < floor {
+				t.Fatalf("read %q older than completed write %d (stale read)", v, floor)
+			}
+		}
+	}
+}
+
+// TestServerRejectsOutOfRangeTraffic covers the server's defensive paths.
+func TestServerRejectsOutOfRangeTraffic(t *testing.T) {
+	s := NewServer(2)
+	if r := s.HandleSubmit(-1, &wire.Submit{}); r != nil {
+		t.Fatal("negative client id accepted")
+	}
+	if r := s.HandleSubmit(5, &wire.Submit{}); r != nil {
+		t.Fatal("out-of-range client id accepted")
+	}
+	if r := s.HandleSubmit(0, &wire.Submit{Inv: wire.Invocation{Op: wire.OpRead, Reg: 9}}); r != nil {
+		t.Fatal("out-of-range register read accepted")
+	}
+	// Out-of-range commits must be ignored, not panic.
+	s.HandleCommit(-1, &wire.Commit{Ver: version.New(2)})
+	s.HandleCommit(7, &wire.Commit{Ver: version.New(2)})
+}

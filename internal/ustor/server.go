@@ -1,0 +1,168 @@
+// Package ustor implements USTOR, the weak fork-linearizable untrusted
+// storage protocol of Section 5 of the paper (Algorithms 1 and 2).
+//
+// USTOR emulates n single-writer multi-reader registers X_0..X_{n-1} on an
+// untrusted server. When the server is correct the protocol is
+// linearizable and wait-free; every operation takes a single round of
+// message exchange (SUBMIT -> REPLY) plus an asynchronous COMMIT that only
+// expedites garbage collection at the server. When the server is faulty,
+// clients either detect an inconsistency (output fail and halt) or their
+// views remain weak fork-linearizable — at which point the FAUST layer
+// (package faustproto) guarantees eventual detection through offline
+// client-to-client version exchange.
+package ustor
+
+import (
+	"sync"
+
+	"faust/internal/version"
+	"faust/internal/wire"
+)
+
+// Server is the correct USTOR server of Algorithm 2. It is a pure state
+// machine driven by HandleSubmit / HandleCommit; package transport
+// serializes the calls, matching the paper's atomic event handlers. The
+// server keeps no secrets and verifies nothing — all integrity guarantees
+// come from the client-side checks.
+type Server struct {
+	mu sync.Mutex
+
+	n    int
+	mem  []wire.MemEntry      // MEM: last timestamp, value, DATA-signature per client
+	c    int                  // client who committed the last operation in the schedule
+	sver []wire.SignedVersion // SVER: last version and COMMIT-signature per client
+	l    []wire.Invocation    // L: invocation tuples of concurrent (uncommitted) operations
+	p    [][]byte             // P: PROOF-signatures per client
+}
+
+// compile-time interface check lives in transport tests; avoid the import
+// cycle here by asserting locally against the method set.
+var _ interface {
+	HandleSubmit(from int, s *wire.Submit) *wire.Reply
+	HandleCommit(from int, c *wire.Commit)
+} = (*Server)(nil)
+
+// NewServer creates a correct server for n clients. Initially every
+// register holds bottom, every version is (0^n, bottom^n), and the "last
+// committed" pointer c refers to client 0, whose initial version is zero —
+// exactly the initial state of Algorithm 2.
+func NewServer(n int) *Server {
+	s := &Server{
+		n:    n,
+		mem:  make([]wire.MemEntry, n),
+		sver: make([]wire.SignedVersion, n),
+		p:    make([][]byte, n),
+	}
+	for i := 0; i < n; i++ {
+		s.sver[i] = wire.ZeroSignedVersion(n)
+	}
+	return s
+}
+
+// N returns the number of clients.
+func (s *Server) N() int { return s.n }
+
+// HandleSubmit implements Algorithm 2 lines 107-116. It updates MEM,
+// builds the REPLY from the pre-append state of L, and appends the new
+// invocation tuple afterwards, so an operation's own tuple is never in its
+// REPLY. A piggybacked COMMIT (Section 5 optimization) is processed
+// first, exactly as if it had arrived as its own message.
+func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
+	if m.Piggyback != nil {
+		s.HandleCommit(from, m.Piggyback)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 || from >= s.n {
+		return nil
+	}
+
+	var reply *wire.Reply
+	if m.Inv.Op == wire.OpRead {
+		j := m.Inv.Reg
+		if j < 0 || j >= s.n {
+			return nil
+		}
+		// Reads refresh the timestamp and DATA-signature but keep the
+		// stored value (line 110).
+		s.mem[from] = wire.MemEntry{T: m.T, Value: s.mem[from].Value, DataSig: m.DataSig}
+		reply = &wire.Reply{
+			IsRead: true,
+			C:      s.c,
+			CVer:   s.sver[s.c].Clone(),
+			JVer:   s.sver[j].Clone(),
+			Mem:    s.mem[j].Clone(),
+			L:      s.cloneL(),
+			P:      s.cloneP(),
+		}
+	} else {
+		s.mem[from] = wire.MemEntry{T: m.T, Value: m.Value, DataSig: m.DataSig}
+		reply = &wire.Reply{
+			IsRead: false,
+			C:      s.c,
+			CVer:   s.sver[s.c].Clone(),
+			L:      s.cloneL(),
+			P:      s.cloneP(),
+		}
+	}
+	s.l = append(s.l, m.Inv)
+	return reply
+}
+
+// HandleCommit implements Algorithm 2 lines 117-123. When the committed
+// version exceeds the current maximum, the committer becomes the new
+// schedule head and its tuple — plus all earlier tuples — leave L.
+func (s *Server) HandleCommit(from int, m *wire.Commit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 || from >= s.n {
+		return
+	}
+	vc := s.sver[s.c].Ver
+	if version.VectorLess(vc.V, m.Ver.V) {
+		s.c = from
+		for idx := len(s.l) - 1; idx >= 0; idx-- {
+			if s.l[idx].Client == from {
+				s.l = append([]wire.Invocation(nil), s.l[idx+1:]...)
+				break
+			}
+		}
+	}
+	s.sver[from] = wire.SignedVersion{
+		Committer: from,
+		Ver:       m.Ver.Clone(),
+		Sig:       append([]byte(nil), m.CommitSig...),
+	}
+	s.p[from] = append([]byte(nil), m.ProofSig...)
+}
+
+// PendingOps returns the current length of L, i.e. the number of
+// submitted-but-uncommitted operations the server tracks. Exposed for
+// tests and the garbage-collection experiment.
+func (s *Server) PendingOps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.l)
+}
+
+// cloneL snapshots L. REPLY messages must not alias server state: the
+// in-memory transport hands the same object to the client.
+func (s *Server) cloneL() []wire.Invocation {
+	out := make([]wire.Invocation, len(s.l))
+	for i, inv := range s.l {
+		out[i] = inv
+		out[i].SubmitSig = append([]byte(nil), inv.SubmitSig...)
+	}
+	return out
+}
+
+// cloneP snapshots P.
+func (s *Server) cloneP() [][]byte {
+	out := make([][]byte, len(s.p))
+	for i, sig := range s.p {
+		if sig != nil {
+			out[i] = append([]byte(nil), sig...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"faust/internal/version"
+)
+
+func sampleVersion(n int, seed int64) version.Version {
+	rng := rand.New(rand.NewSource(seed))
+	v := version.New(n)
+	for i := 0; i < n; i++ {
+		v.V[i] = int64(rng.Intn(100))
+		if rng.Intn(3) > 0 {
+			d := make([]byte, 32)
+			rng.Read(d)
+			v.M[i] = d
+		}
+	}
+	return v
+}
+
+func sampleSignedVersion(n int, seed int64) SignedVersion {
+	rng := rand.New(rand.NewSource(seed))
+	sig := make([]byte, 64)
+	rng.Read(sig)
+	return SignedVersion{Committer: int(seed) % n, Ver: sampleVersion(n, seed), Sig: sig}
+}
+
+func sampleInvocation(seed int64) Invocation {
+	rng := rand.New(rand.NewSource(seed))
+	sig := make([]byte, 64)
+	rng.Read(sig)
+	op := OpRead
+	if seed%2 == 0 {
+		op = OpWrite
+	}
+	return Invocation{Client: rng.Intn(8), Op: op, Reg: rng.Intn(8), SubmitSig: sig}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data := Encode(m)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", m, err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", m, got)
+	}
+	return got
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	roundTrip(t, &Submit{
+		T:       42,
+		Inv:     sampleInvocation(1),
+		Value:   []byte("the value"),
+		DataSig: bytes.Repeat([]byte{7}, 64),
+	})
+}
+
+func TestSubmitRoundTripNilValue(t *testing.T) {
+	// Reads carry no value; nil must survive the codec (not become empty).
+	m := &Submit{T: 1, Inv: sampleInvocation(2), Value: nil, DataSig: bytes.Repeat([]byte{1}, 64)}
+	got := roundTrip(t, m).(*Submit)
+	if got.Value != nil {
+		t.Fatal("nil Value decoded as non-nil")
+	}
+}
+
+func TestReplyWriteRoundTrip(t *testing.T) {
+	roundTrip(t, &Reply{
+		IsRead: false,
+		C:      3,
+		CVer:   sampleSignedVersion(4, 5),
+		L:      []Invocation{sampleInvocation(6), sampleInvocation(7)},
+		P:      [][]byte{nil, []byte("proof1"), nil, []byte("proof3")},
+	})
+}
+
+func TestReplyReadRoundTrip(t *testing.T) {
+	roundTrip(t, &Reply{
+		IsRead: true,
+		C:      0,
+		CVer:   sampleSignedVersion(4, 8),
+		JVer:   sampleSignedVersion(4, 9),
+		Mem:    MemEntry{T: 17, Value: []byte("v"), DataSig: bytes.Repeat([]byte{2}, 64)},
+		L:      []Invocation{},
+		P:      [][]byte{nil, nil, nil, nil},
+	})
+}
+
+func TestReplyZeroVersionRoundTrip(t *testing.T) {
+	roundTrip(t, &Reply{
+		IsRead: false,
+		C:      0,
+		CVer:   ZeroSignedVersion(3),
+		L:      []Invocation{},
+		P:      [][]byte{nil, nil, nil},
+	})
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	roundTrip(t, &Commit{
+		Ver:       sampleVersion(5, 11),
+		CommitSig: bytes.Repeat([]byte{3}, 64),
+		ProofSig:  bytes.Repeat([]byte{4}, 64),
+	})
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	roundTrip(t, &Probe{From: 2})
+}
+
+func TestVersionMsgRoundTrip(t *testing.T) {
+	roundTrip(t, &VersionMsg{From: 1, SV: sampleSignedVersion(3, 13)})
+}
+
+func TestFailureRoundTrip(t *testing.T) {
+	roundTrip(t, &Failure{From: 0})
+	roundTrip(t, &Failure{
+		From:        2,
+		HasEvidence: true,
+		EvidenceA:   sampleSignedVersion(3, 14),
+		EvidenceB:   sampleSignedVersion(3, 15),
+	})
+}
+
+func TestZeroSignedVersion(t *testing.T) {
+	sv := ZeroSignedVersion(4)
+	if sv.Committer != -1 || sv.Sig != nil || !sv.Ver.IsZero() || sv.Ver.N() != 4 {
+		t.Fatalf("bad zero signed version: %+v", sv)
+	}
+	roundTrip(t, &VersionMsg{From: 0, SV: sv})
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                                  // unknown kind
+		{byte(KindProbe)},                     // truncated body
+		append(Encode(&Probe{From: 1}), 0xEE), // trailing garbage
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	full := Encode(&Reply{
+		IsRead: true,
+		C:      1,
+		CVer:   sampleSignedVersion(3, 20),
+		JVer:   sampleSignedVersion(3, 21),
+		Mem:    MemEntry{T: 5, Value: []byte("x"), DataSig: bytes.Repeat([]byte{9}, 64)},
+		L:      []Invocation{sampleInvocation(22)},
+		P:      [][]byte{nil, []byte("p"), nil},
+	})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeVector(t *testing.T) {
+	// A malicious length prefix must not cause a huge allocation.
+	buf := []byte{byte(KindCommit)}
+	buf = appendU32(buf, 1<<30) // absurd version dimension
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("huge vector length accepted")
+	}
+}
+
+func TestOpCodeString(t *testing.T) {
+	if OpRead.String() != "READ" || OpWrite.String() != "WRITE" {
+		t.Fatal("OpCode.String wrong")
+	}
+	if OpCode(0).String() == "READ" {
+		t.Fatal("zero OpCode must not be READ")
+	}
+}
+
+func TestSubmitPayloadInjective(t *testing.T) {
+	seen := map[string]string{}
+	add := func(name string, p []byte) {
+		if prev, ok := seen[string(p)]; ok {
+			t.Fatalf("payload collision between %s and %s", prev, name)
+		}
+		seen[string(p)] = name
+	}
+	add("read-0-1", SubmitPayload(OpRead, 0, 1))
+	add("write-0-1", SubmitPayload(OpWrite, 0, 1))
+	add("read-1-1", SubmitPayload(OpRead, 1, 1))
+	add("read-0-2", SubmitPayload(OpRead, 0, 2))
+}
+
+func TestDataPayloadBottomVsHash(t *testing.T) {
+	a := DataPayload(1, nil)
+	b := DataPayload(1, []byte{})
+	if bytes.Equal(a, b) {
+		t.Fatal("bottom xbar and empty xbar must differ")
+	}
+	c := DataPayload(2, nil)
+	if bytes.Equal(a, c) {
+		t.Fatal("timestamp must be covered")
+	}
+}
+
+func TestCommitPayloadMatchesCanonicalBytes(t *testing.T) {
+	v := sampleVersion(3, 33)
+	if !bytes.Equal(CommitPayload(v), v.CanonicalBytes()) {
+		t.Fatal("CommitPayload must equal the canonical version encoding")
+	}
+}
+
+func TestSignedVersionClone(t *testing.T) {
+	sv := sampleSignedVersion(3, 40)
+	c := sv.Clone()
+	c.Sig[0] ^= 0xFF
+	c.Ver.V[0] = 999
+	if sv.Sig[0] == c.Sig[0] || sv.Ver.V[0] == 999 {
+		t.Fatal("Clone shares memory")
+	}
+}
+
+func TestMemEntryClone(t *testing.T) {
+	m := MemEntry{T: 1, Value: []byte("v"), DataSig: []byte("s")}
+	c := m.Clone()
+	c.Value[0] = 'x'
+	c.DataSig[0] = 'y'
+	if m.Value[0] != 'v' || m.DataSig[0] != 's' {
+		t.Fatal("Clone shares memory")
+	}
+	nilClone := (MemEntry{T: 2}).Clone()
+	if nilClone.Value != nil || nilClone.DataSig != nil {
+		t.Fatal("nil fields must stay nil")
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	m := &Commit{Ver: sampleVersion(4, 50), CommitSig: []byte("c"), ProofSig: []byte("p")}
+	if EncodedSize(m) != len(Encode(m)) {
+		t.Fatal("EncodedSize disagrees with Encode")
+	}
+}
+
+// Property: random replies round-trip through the codec.
+func TestQuickReplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(6)
+		rp := &Reply{
+			IsRead: rng.Intn(2) == 0,
+			C:      rng.Intn(n),
+			CVer:   sampleSignedVersion(n, rng.Int63()),
+			L:      make([]Invocation, rng.Intn(4)),
+			P:      make([][]byte, n),
+		}
+		for i := range rp.L {
+			rp.L[i] = sampleInvocation(rng.Int63())
+		}
+		for i := range rp.P {
+			if rng.Intn(2) == 0 {
+				rp.P[i] = []byte{byte(i)}
+			}
+		}
+		if rp.IsRead {
+			rp.JVer = sampleSignedVersion(n, rng.Int63())
+			rp.Mem = MemEntry{T: rng.Int63n(100), Value: []byte("v"), DataSig: []byte("d")}
+		}
+		roundTrip(t, rp)
+	}
+}
+
+// Property: encoding is deterministic.
+func TestQuickEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for iter := 0; iter < 100; iter++ {
+		m := &Commit{
+			Ver:       sampleVersion(1+rng.Intn(5), rng.Int63()),
+			CommitSig: []byte("sig"),
+			ProofSig:  []byte("proof"),
+		}
+		if !bytes.Equal(Encode(m), Encode(m)) {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package workload generates deterministic, seeded operation streams for
+// tests and benchmarks: read/write mixes, Zipf-skewed register selection
+// and sized unique values. Written values are globally unique, which the
+// consistency checkers rely on (Section 2 of the paper makes the same
+// assumption).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one generated operation.
+type Op struct {
+	Client  int
+	IsWrite bool
+	Reg     int    // register to read; writes always target the client's own
+	Value   []byte // written value; nil for reads
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	// ReadFraction is the probability of generating a read (0..1).
+	ReadFraction float64
+	// ValueSize is the size in bytes of written values (minimum large
+	// enough for the unique prefix; small values are padded).
+	ValueSize int
+	// ZipfS skews register selection for reads; 0 selects uniformly.
+	// Values > 1 make low-index registers proportionally hotter.
+	ZipfS float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// DefaultConfig is a 50/50 mix of reads and writes over uniformly chosen
+// registers with 64-byte values.
+func DefaultConfig() Config {
+	return Config{ReadFraction: 0.5, ValueSize: 64, Seed: 1}
+}
+
+// Workload owns one deterministic stream per client.
+type Workload struct {
+	n       int
+	cfg     Config
+	streams []*Stream
+}
+
+// New creates a workload for n clients.
+func New(n int, cfg Config) *Workload {
+	w := &Workload{n: n, cfg: cfg, streams: make([]*Stream, n)}
+	for i := 0; i < n; i++ {
+		w.streams[i] = newStream(i, n, cfg)
+	}
+	return w
+}
+
+// Stream returns client i's operation stream. Streams are independent:
+// each may be driven from its own goroutine.
+func (w *Workload) Stream(i int) *Stream { return w.streams[i] }
+
+// Stream generates operations for one client.
+type Stream struct {
+	client int
+	n      int
+	cfg    Config
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	seq    int
+}
+
+func newStream(client, n int, cfg Config) *Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*7919))
+	s := &Stream{client: client, n: n, cfg: cfg, rng: rng}
+	if cfg.ZipfS > 1 {
+		s.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(n-1))
+	}
+	return s
+}
+
+// Next produces the client's next operation.
+func (s *Stream) Next() Op {
+	if s.rng.Float64() < s.cfg.ReadFraction {
+		return Op{Client: s.client, Reg: s.pickRegister()}
+	}
+	s.seq++
+	return Op{
+		Client:  s.client,
+		IsWrite: true,
+		Reg:     s.client,
+		Value:   s.value(),
+	}
+}
+
+// NextWrite forces a write operation.
+func (s *Stream) NextWrite() Op {
+	s.seq++
+	return Op{Client: s.client, IsWrite: true, Reg: s.client, Value: s.value()}
+}
+
+// NextRead forces a read operation.
+func (s *Stream) NextRead() Op {
+	return Op{Client: s.client, Reg: s.pickRegister()}
+}
+
+func (s *Stream) pickRegister() int {
+	if s.zipf != nil {
+		return int(s.zipf.Uint64())
+	}
+	return s.rng.Intn(s.n)
+}
+
+// value builds a unique value of the configured size. The unique prefix
+// "c<client>-<seq>|" guarantees global uniqueness; the rest is padding.
+func (s *Stream) value() []byte {
+	prefix := fmt.Sprintf("c%d-%d|", s.client, s.seq)
+	size := s.cfg.ValueSize
+	if size < len(prefix) {
+		size = len(prefix)
+	}
+	out := make([]byte, size)
+	copy(out, prefix)
+	for i := len(prefix); i < size; i++ {
+		out[i] = byte('a' + (i % 26))
+	}
+	return out
+}

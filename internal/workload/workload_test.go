@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniqueWrittenValues(t *testing.T) {
+	w := New(4, Config{ReadFraction: 0.5, ValueSize: 16, Seed: 1})
+	seen := make(map[string]bool)
+	for c := 0; c < 4; c++ {
+		s := w.Stream(c)
+		for i := 0; i < 200; i++ {
+			op := s.Next()
+			if !op.IsWrite {
+				continue
+			}
+			if seen[string(op.Value)] {
+				t.Fatalf("duplicate value %q", op.Value)
+			}
+			seen[string(op.Value)] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no writes generated")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a := New(2, Config{ReadFraction: 0.3, ValueSize: 8, Seed: 7})
+	b := New(2, Config{ReadFraction: 0.3, ValueSize: 8, Seed: 7})
+	for i := 0; i < 100; i++ {
+		x, y := a.Stream(1).Next(), b.Stream(1).Next()
+		if x.IsWrite != y.IsWrite || x.Reg != y.Reg || string(x.Value) != string(y.Value) {
+			t.Fatalf("streams diverged at op %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestReadFractionHonored(t *testing.T) {
+	w := New(1, Config{ReadFraction: 0.8, ValueSize: 8, Seed: 3})
+	reads := 0
+	const total = 2000
+	s := w.Stream(0)
+	for i := 0; i < total; i++ {
+		if !s.Next().IsWrite {
+			reads++
+		}
+	}
+	frac := float64(reads) / total
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("read fraction = %.3f, want ~0.8", frac)
+	}
+}
+
+func TestWritesTargetOwnRegister(t *testing.T) {
+	w := New(3, Config{ReadFraction: 0, ValueSize: 8, Seed: 2})
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 20; i++ {
+			op := w.Stream(c).Next()
+			if !op.IsWrite || op.Reg != c || op.Client != c {
+				t.Fatalf("bad write op %+v for client %d", op, c)
+			}
+		}
+	}
+}
+
+func TestValueSizePadding(t *testing.T) {
+	w := New(1, Config{ReadFraction: 0, ValueSize: 128, Seed: 4})
+	op := w.Stream(0).NextWrite()
+	if len(op.Value) != 128 {
+		t.Fatalf("value size = %d, want 128", len(op.Value))
+	}
+	// Tiny configured size still yields the unique prefix.
+	w2 := New(1, Config{ReadFraction: 0, ValueSize: 1, Seed: 4})
+	op2 := w2.Stream(0).NextWrite()
+	if len(op2.Value) < 4 {
+		t.Fatalf("value %q lost its unique prefix", op2.Value)
+	}
+}
+
+func TestZipfSkewsRegisters(t *testing.T) {
+	w := New(16, Config{ReadFraction: 1, ZipfS: 2.0, ValueSize: 8, Seed: 5})
+	counts := make([]int, 16)
+	s := w.Stream(0)
+	for i := 0; i < 5000; i++ {
+		counts[s.NextRead().Reg]++
+	}
+	if counts[0] <= counts[15]*2 {
+		t.Fatalf("zipf not skewed: reg0=%d reg15=%d", counts[0], counts[15])
+	}
+}
+
+func TestUniformWithoutZipf(t *testing.T) {
+	w := New(4, Config{ReadFraction: 1, ValueSize: 8, Seed: 6})
+	counts := make([]int, 4)
+	s := w.Stream(0)
+	const total = 4000
+	for i := 0; i < total; i++ {
+		counts[s.NextRead().Reg]++
+	}
+	for r, c := range counts {
+		if c < total/8 {
+			t.Fatalf("register %d starved: %d/%d", r, c, total)
+		}
+	}
+}
+
+func TestForcedKinds(t *testing.T) {
+	s := New(2, DefaultConfig()).Stream(0)
+	if op := s.NextWrite(); !op.IsWrite {
+		t.Fatal("NextWrite returned a read")
+	}
+	if op := s.NextRead(); op.IsWrite {
+		t.Fatal("NextRead returned a write")
+	}
+}

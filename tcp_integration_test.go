@@ -1,0 +1,132 @@
+package faust
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"faust/internal/crypto"
+	"faust/internal/faustproto"
+	"faust/internal/offline"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+)
+
+// TestTCPEndToEndUSTOR runs the USTOR protocol over a real TCP loopback
+// server, exactly as cmd/faust-server and cmd/faust-client deploy it.
+func TestTCPEndToEndUSTOR(t *testing.T) {
+	const n = 3
+	ring, signers := crypto.NewTestKeyring(n, 31)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.ServeTCP(ln, ustor.NewServer(n))
+	t.Cleanup(srv.Stop)
+
+	clients := make([]*ustor.Client, n)
+	for i := 0; i < n; i++ {
+		link, err := transport.DialTCP(ln.Addr().String(), i)
+		if err != nil {
+			t.Fatalf("client %d dial: %v", i, err)
+		}
+		clients[i] = ustor.NewClient(i, ring, signers[i], link)
+	}
+
+	for round := 0; round < 5; round++ {
+		for i, c := range clients {
+			if err := c.Write([]byte(fmt.Sprintf("tcp-%d-%d", i, round))); err != nil {
+				t.Fatalf("client %d write: %v", i, err)
+			}
+		}
+		for i, c := range clients {
+			v, err := c.Read((i + 1) % n)
+			if err != nil {
+				t.Fatalf("client %d read: %v", i, err)
+			}
+			want := fmt.Sprintf("tcp-%d-%d", (i+1)%n, round)
+			if string(v) != want {
+				t.Fatalf("client %d read %q, want %q", i, v, want)
+			}
+		}
+	}
+	for i, c := range clients {
+		if failed, reason := c.Failed(); failed {
+			t.Fatalf("client %d failed over TCP: %v", i, reason)
+		}
+	}
+}
+
+// TestTCPEndToEndFAUSTStability runs the full FAUST stack over TCP: the
+// storage server on one listener and the offline channel as a TCP mesh —
+// the deployment of cmd/faust-client with -listen/-peers. A write must
+// become stable across the network.
+func TestTCPEndToEndFAUSTStability(t *testing.T) {
+	const n = 2
+	ring, signers := crypto.NewTestKeyring(n, 32)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.ServeTCP(ln, ustor.NewServer(n))
+	t.Cleanup(srv.Stop)
+
+	// Reserve mesh addresses.
+	meshAddrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshAddrs[i] = l.Addr().String()
+		listeners[i] = l
+	}
+	peers := map[int]string{0: meshAddrs[0], 1: meshAddrs[1]}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+
+	cfg := faustproto.Config{
+		ProbeTimeout: 60 * time.Millisecond,
+		PollInterval: 15 * time.Millisecond,
+	}
+	clients := make([]*faustproto.Client, n)
+	for i := 0; i < n; i++ {
+		link, err := transport.DialTCP(ln.Addr().String(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := offline.ListenTCP(i, meshAddrs[i], peers, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = faustproto.NewClient(i, ring, signers[i], link, mesh,
+			faustproto.WithConfig(cfg))
+		clients[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, c := range clients {
+			c.Stop()
+		}
+	})
+
+	ts, err := clients[0].Write([]byte("over-the-wire"))
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, _, err := clients[1].Read(0)
+	if err != nil || string(v) != "over-the-wire" {
+		t.Fatalf("read = %q, %v", v, err)
+	}
+	if err := clients[0].WaitStable(ts, 15*time.Second); err != nil {
+		t.Fatalf("stability over TCP: %v", err)
+	}
+	for i, c := range clients {
+		if failed, reason := c.Failed(); failed {
+			t.Fatalf("client %d false positive over TCP: %v", i, reason)
+		}
+	}
+}
