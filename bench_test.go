@@ -17,6 +17,7 @@ import (
 	"faust/internal/faustproto"
 	"faust/internal/lockstep"
 	"faust/internal/offline"
+	"faust/internal/store"
 	"faust/internal/transport"
 	"faust/internal/trusted"
 	"faust/internal/ustor"
@@ -502,6 +503,52 @@ func BenchmarkSignVerify(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = signers[0].Sign(crypto.DomainData, msg)
 	}
+}
+
+// BenchmarkServerPersist measures the write path of the persistence
+// subsystem (E15): the same single-client write loop against a plain
+// in-memory server, a WAL on a MemBackend (record codec only), and a
+// FileBackend with fsync off (process-crash durability) and on
+// (power-loss durability).
+func BenchmarkServerPersist(b *testing.B) {
+	const n = 2
+	run := func(b *testing.B, core transport.ServerCore) {
+		ring, signers := crypto.NewTestKeyring(n, 1)
+		nw := transport.NewNetwork(n, core)
+		b.Cleanup(nw.Stop)
+		c := ustor.NewClient(0, ring, signers[0], nw.ClientLink(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Write([]byte(fmt.Sprintf("v%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	persistent := func(b *testing.B, backend store.Backend) *store.Persistent {
+		b.Helper()
+		ps, err := store.Open(ustor.NewServer(n), backend, store.Options{SnapshotEvery: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = ps.Close() })
+		return ps
+	}
+	b.Run("mem-no-persistence", func(b *testing.B) { run(b, ustor.NewServer(n)) })
+	b.Run("wal-membackend", func(b *testing.B) { run(b, persistent(b, store.NewMemBackend())) })
+	b.Run("wal-file-nofsync", func(b *testing.B) {
+		backend, err := store.OpenFile(b.TempDir(), store.FileOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, persistent(b, backend))
+	})
+	b.Run("wal-file-fsync", func(b *testing.B) {
+		backend, err := store.OpenFile(b.TempDir(), store.FileOptions{Fsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, persistent(b, backend))
+	})
 }
 
 // atomicAdd spreads RunParallel workers over clients.

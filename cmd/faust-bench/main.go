@@ -27,6 +27,7 @@ import (
 	"faust/internal/lockstep"
 	"faust/internal/offline"
 	"faust/internal/sim"
+	"faust/internal/store"
 	"faust/internal/transport"
 	"faust/internal/trusted"
 	"faust/internal/ustor"
@@ -54,6 +55,7 @@ func main() {
 		{"stability", "E13: stability latency, online (dummy reads) vs offline (probes)", expStability},
 		{"overhead", "E14: throughput of trusted vs USTOR vs FAUST vs lock-step", expOverhead},
 		{"crypto", "E12: cryptographic cost per operation", expCrypto},
+		{"persist", "E15: durability cost — in-memory vs WAL-logged server (fsync off/on)", expPersist},
 	}
 
 	want := map[string]bool{}
@@ -486,6 +488,90 @@ func expCrypto() {
 	fmt.Printf("%-24s %12v\n", "SHA-256 (64 B)", hashT)
 	fmt.Printf("per write op: 4 signs (SUBMIT,DATA,COMMIT,PROOF) ~ %v; per read reply verify: >=2 ~ %v\n",
 		4*signT, 2*verifyT)
+}
+
+// expPersist measures what durability costs: the same concurrent write
+// workload against a plain in-memory server, a WAL-logged server on a
+// MemBackend (codec cost only), a FileBackend without fsync (process-crash
+// durability) and a FileBackend with fsync (power-loss durability).
+func expPersist() {
+	const n, opsPer = 4, 150
+	ring, signers := crypto.NewTestKeyring(n, 10)
+
+	run := func(core transport.ServerCore) time.Duration {
+		net := transport.NewNetwork(n, core)
+		defer net.Stop()
+		clients := make([]*ustor.Client, n)
+		for i := range clients {
+			clients[i] = ustor.NewClient(i, ring, signers[i], net.ClientLink(i))
+		}
+		start := time.Now()
+		done := make(chan error, n)
+		for c := 0; c < n; c++ {
+			go func(c int) {
+				for i := 0; i < opsPer; i++ {
+					if err := clients[c].Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}(c)
+		}
+		for c := 0; c < n; c++ {
+			if err := <-done; err != nil {
+				fail(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	runPersistent := func(backend store.Backend) time.Duration {
+		ps, err := store.Open(ustor.NewServer(n), backend, store.Options{SnapshotEvery: 256})
+		if err != nil {
+			fail(err)
+		}
+		d := run(ps)
+		if err := ps.Close(); err != nil {
+			fail(err)
+		}
+		return d
+	}
+	var tmpDirs []string
+	defer func() {
+		for _, d := range tmpDirs {
+			_ = os.RemoveAll(d)
+		}
+	}()
+	fileBackend := func(fsync bool) store.Backend {
+		dir, err := os.MkdirTemp("", "faust-bench-persist")
+		if err != nil {
+			fail(err)
+		}
+		tmpDirs = append(tmpDirs, dir)
+		b, err := store.OpenFile(dir, store.FileOptions{Fsync: fsync})
+		if err != nil {
+			fail(err)
+		}
+		return b
+	}
+
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := []row{
+		{"in-memory (no persistence)", run(ustor.NewServer(n))},
+		{"WAL, MemBackend (codec only)", runPersistent(store.NewMemBackend())},
+		{"WAL, FileBackend, fsync off", runPersistent(fileBackend(false))},
+		{"WAL, FileBackend, fsync on", runPersistent(fileBackend(true))},
+	}
+	total := float64(n * opsPer)
+	base := rows[0].d.Seconds()
+	fmt.Printf("%-34s %14s %12s\n", "server", "writes/sec", "vs memory")
+	for _, r := range rows {
+		fmt.Printf("%-34s %14.0f %11.2fx\n", r.name, total/r.d.Seconds(), r.d.Seconds()/base)
+	}
 }
 
 func fail(err error) {

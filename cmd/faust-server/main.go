@@ -8,8 +8,40 @@
 //
 // Example:
 //
-//	faust-server -addr :7440 -n 3
+//	faust-server -addr :7440 -n 3 -data-dir /var/lib/faust
 //	faust-client -server localhost:7440 -n 3 -id 0        # in another shell
+//
+// # Persistence
+//
+// Without -data-dir the server state lives in memory and a restart rolls
+// every client back — which their fail-awareness checks then report as a
+// server fault. With -data-dir the server runs write-ahead logged
+// (internal/store): every SUBMIT and COMMIT is appended to the log before
+// it is applied, and a full state snapshot is rotated in every
+// -snapshot-every records.
+//
+// On-disk layout inside -data-dir (one generation of each at steady
+// state):
+//
+//	snap-00000007       full server state (MEM, c, SVER, L, P), CRC-checked
+//	wal-00000007.log    records since that snapshot: u32 len | u32 CRC-32C | payload
+//
+// Recovery on boot loads the newest valid snapshot and replays the WAL
+// tail. A torn final record (the append in flight at crash time) is
+// dropped silently: the server never replied to that operation, so no
+// client observed it. Snapshots rotate atomically (tmp + rename), so a
+// crash during rotation leaves the previous baseline intact.
+//
+// -fsync syncs the WAL after every append: off, state survives process
+// crashes (OS page cache); on, it also survives power loss at a heavy
+// per-operation cost (see BenchmarkServerPersist and faust-bench -run
+// persist).
+//
+// Durability is deliberately unauthenticated: a data directory altered by
+// an attacker (e.g. a truncated WAL rolling the state back) recovers
+// "successfully" — and the clients' Algorithm 1 checks then expose it
+// exactly as they expose a lying live server. The store protects against
+// crashes; fail-awareness protects against everything else.
 package main
 
 import (
@@ -21,6 +53,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"faust/internal/store"
 	"faust/internal/transport"
 	"faust/internal/ustor"
 )
@@ -28,16 +61,36 @@ import (
 func main() {
 	addr := flag.String("addr", ":7440", "listen address")
 	n := flag.Int("n", 3, "number of clients (registers)")
+	dataDir := flag.String("data-dir", "", "persistence directory; empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "rotate a state snapshot every N logged records (0 = never)")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every append (survives power loss, much slower)")
 	flag.Parse()
 
 	if *n <= 0 {
 		log.Fatalf("faust-server: -n must be positive, got %d", *n)
 	}
+
+	var core transport.ServerCore = ustor.NewServer(*n)
+	var ps *store.Persistent
+	if *dataDir != "" {
+		backend, err := store.OpenFile(*dataDir, store.FileOptions{Fsync: *fsync})
+		if err != nil {
+			log.Fatalf("faust-server: %v", err)
+		}
+		ps, err = store.Open(ustor.NewServer(*n), backend, store.Options{SnapshotEvery: *snapshotEvery})
+		if err != nil {
+			log.Fatalf("faust-server: recovering state: %v", err)
+		}
+		fromSnap, replayed := ps.Recovered()
+		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v)\n",
+			*dataDir, fromSnap, replayed, *fsync)
+		core = ps
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("faust-server: listen: %v", err)
 	}
-	core := ustor.NewServer(*n)
 	srv := transport.ServeTCP(ln, core)
 	fmt.Printf("faust-server: serving %d registers on %s\n", *n, ln.Addr())
 	fmt.Println("faust-server: this process is the UNTRUSTED party; clients verify everything")
@@ -47,4 +100,13 @@ func main() {
 	<-sig
 	fmt.Println("\nfaust-server: shutting down")
 	srv.Stop()
+	if ps != nil {
+		// Final snapshot so the next boot replays nothing; then release.
+		if err := ps.Snapshot(); err != nil {
+			log.Printf("faust-server: final snapshot: %v", err)
+		}
+		if err := ps.Close(); err != nil {
+			log.Printf("faust-server: closing store: %v", err)
+		}
+	}
 }

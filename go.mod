@@ -1,0 +1,3 @@
+module faust
+
+go 1.21

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"faust/internal/wire"
+)
+
+// Core is the server state machine the store can persist: the ServerCore
+// handlers plus state export/import. ustor.Server implements it; any
+// deterministic core with the same message interface can be persisted the
+// same way.
+type Core interface {
+	HandleSubmit(from int, s *wire.Submit) *wire.Reply
+	HandleCommit(from int, c *wire.Commit)
+	ExportState() []byte
+	RestoreState(state []byte) error
+}
+
+// Options configures a Persistent server.
+type Options struct {
+	// SnapshotEvery takes a snapshot after that many logged records,
+	// bounding both recovery replay time and WAL size. Zero disables
+	// automatic snapshots; Snapshot can still be called explicitly.
+	SnapshotEvery int
+}
+
+// Persistent wraps a Core with write-ahead logging: every SUBMIT and
+// COMMIT is appended to the backend before it is applied, so the applied
+// state never runs ahead of the log. It implements transport.ServerCore
+// and drops in wherever a plain server is served.
+//
+// If the backend ever fails to append, the server stops replying (nil
+// REPLYs) rather than serve operations it cannot make durable — to the
+// clients this is indistinguishable from a crashed server, which is the
+// honest signal: wait-freedom is lost, integrity is not.
+type Persistent struct {
+	mu      sync.Mutex
+	core    Core
+	backend Backend
+	opts    Options
+
+	sinceSnap int
+	broken    error // sticky persistence failure
+
+	recoveredSnapshot bool
+	recoveredRecords  int
+}
+
+// Open recovers the core's state from the backend — newest snapshot, then
+// WAL tail replay — and returns the persistent wrapper ready to serve.
+func Open(core Core, backend Backend, opts Options) (*Persistent, error) {
+	state, tail, err := backend.Load()
+	if err != nil {
+		return nil, fmt.Errorf("store: loading backend: %w", err)
+	}
+	if state != nil {
+		if err := core.RestoreState(state); err != nil {
+			return nil, fmt.Errorf("store: restoring snapshot: %w", err)
+		}
+	}
+	for i, rec := range tail {
+		switch m := rec.Msg.(type) {
+		case *wire.Submit:
+			core.HandleSubmit(rec.From, m)
+		case *wire.Commit:
+			core.HandleCommit(rec.From, m)
+		default:
+			return nil, fmt.Errorf("store: WAL record %d: %w", i, ErrBadRecord)
+		}
+	}
+	return &Persistent{
+		core:              core,
+		backend:           backend,
+		opts:              opts,
+		recoveredSnapshot: state != nil,
+		recoveredRecords:  len(tail),
+	}, nil
+}
+
+// Recovered reports what Open found: whether a snapshot was restored and
+// how many WAL records were replayed on top of it.
+func (p *Persistent) Recovered() (fromSnapshot bool, replayed int) {
+	return p.recoveredSnapshot, p.recoveredRecords
+}
+
+// HandleSubmit implements transport.ServerCore: log, then apply.
+func (p *Persistent) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return nil
+	}
+	if err := p.backend.Append(Record{From: from, Msg: s}); err != nil {
+		p.broken = err
+		return nil
+	}
+	reply := p.core.HandleSubmit(from, s)
+	p.bumpLocked()
+	return reply
+}
+
+// HandleCommit implements transport.ServerCore: log, then apply.
+func (p *Persistent) HandleCommit(from int, c *wire.Commit) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return
+	}
+	if err := p.backend.Append(Record{From: from, Msg: c}); err != nil {
+		p.broken = err
+		return
+	}
+	p.core.HandleCommit(from, c)
+	p.bumpLocked()
+}
+
+// bumpLocked counts one logged record and rotates a snapshot when due.
+func (p *Persistent) bumpLocked() {
+	p.sinceSnap++
+	if p.opts.SnapshotEvery > 0 && p.sinceSnap >= p.opts.SnapshotEvery {
+		if err := p.snapshotLocked(); err != nil {
+			p.broken = err
+		}
+	}
+}
+
+func (p *Persistent) snapshotLocked() error {
+	if err := p.backend.WriteSnapshot(p.core.ExportState()); err != nil {
+		return err
+	}
+	p.sinceSnap = 0
+	return nil
+}
+
+// Snapshot forces a snapshot rotation now, e.g. before a graceful
+// shutdown so the next boot replays nothing.
+func (p *Persistent) Snapshot() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return p.broken
+	}
+	return p.snapshotLocked()
+}
+
+// ExportState returns the wrapped core's current state. Exposed so tests
+// and operators can compare pre-crash and post-recovery state.
+func (p *Persistent) ExportState() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.ExportState()
+}
+
+// Err returns the sticky persistence failure, if any.
+func (p *Persistent) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.broken
+}
+
+// Close closes the backend. It does NOT snapshot: closing mid-workload
+// must look exactly like a crash so recovery is exercised honestly; call
+// Snapshot first for a fast next boot.
+func (p *Persistent) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backend.Close()
+}

@@ -1,0 +1,165 @@
+// Package store gives the USTOR server durable, recoverable state.
+//
+// The paper models the server as a pure in-memory state machine
+// (Algorithm 2), so a restart would silently roll every client back to an
+// older state — indistinguishable, from the clients' point of view, from a
+// malicious rollback attack, and therefore guaranteed to trip the
+// fail-awareness checks. This package closes that gap with classic
+// write-ahead logging: every SUBMIT and COMMIT is appended to a log
+// *before* it is applied, and the full server state (wire.ServerState) is
+// snapshotted periodically. Recovery loads the newest valid snapshot and
+// replays the log tail; because the server is deterministic, the recovered
+// state is bit-for-bit the pre-crash state, and clients resume without
+// noticing.
+//
+// The flip side is deliberate: the store authenticates nothing. A log
+// truncated by an attacker recovers "successfully" into a stale state —
+// and the protocol's client-side checks (Algorithm 1 line 36) then expose
+// the rollback exactly as they expose a lying live server. Durability here
+// protects against crashes; fail-awareness protects against everything
+// else.
+//
+// Two Backend implementations exist: MemBackend (process-lifetime only,
+// the default for tests and simulations) and FileBackend (CRC-checksummed
+// length-prefixed WAL segments plus atomic snapshot files, tolerating a
+// torn final record after a crash).
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"faust/internal/wire"
+)
+
+// Record is one durably logged server input: a SUBMIT or COMMIT message
+// together with the index of the client that sent it. These are the only
+// messages that mutate server state, so they are exactly what recovery
+// must replay.
+type Record struct {
+	From int
+	Msg  wire.Message // *wire.Submit or *wire.Commit
+}
+
+// ErrBadRecord reports a record that is not a SUBMIT or COMMIT, or whose
+// encoding is malformed.
+var ErrBadRecord = errors.New("store: record is not a SUBMIT or COMMIT")
+
+// EncodeRecord renders a record canonically: u32 client index followed by
+// the wire encoding of the message.
+func EncodeRecord(rec Record) ([]byte, error) {
+	switch rec.Msg.(type) {
+	case *wire.Submit, *wire.Commit:
+	default:
+		return nil, ErrBadRecord
+	}
+	body := wire.Encode(rec.Msg)
+	buf := make([]byte, 4, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(rec.From))
+	return append(buf, body...), nil
+}
+
+// DecodeRecord parses an encoding produced by EncodeRecord.
+func DecodeRecord(data []byte) (Record, error) {
+	if len(data) < 4 {
+		return Record{}, ErrBadRecord
+	}
+	from := int(int32(binary.BigEndian.Uint32(data)))
+	m, err := wire.Decode(data[4:])
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	switch m.(type) {
+	case *wire.Submit, *wire.Commit:
+	default:
+		return Record{}, ErrBadRecord
+	}
+	return Record{From: from, Msg: m}, nil
+}
+
+// Backend persists server state as a snapshot plus a log tail. The
+// Persistent wrapper drives it with WAL discipline: Load once on open,
+// Append before every state change, WriteSnapshot periodically.
+//
+// Implementations must be safe for use from one goroutine at a time (the
+// transport serializes handler calls); they need not support concurrent
+// calls.
+type Backend interface {
+	// Load returns the recovery baseline: the newest valid snapshot (nil
+	// if none was ever written) and the log records appended after it, in
+	// order. Called once, before any Append or WriteSnapshot.
+	Load() (snapshot []byte, tail []Record, err error)
+	// Append durably logs one record. It must not return until the record
+	// will survive a process crash (and, for durability against power
+	// loss, an fsync-enabled implementation must not return until it
+	// survives that too).
+	Append(rec Record) error
+	// WriteSnapshot atomically replaces the recovery baseline: after it
+	// returns, a Load observes state with an empty tail, and log records
+	// covered by the snapshot may be reclaimed. A crash during
+	// WriteSnapshot must leave the previous baseline intact.
+	WriteSnapshot(state []byte) error
+	// Close releases resources. The backend stays recoverable.
+	Close() error
+}
+
+// MemBackend keeps the snapshot and log in memory. It provides no
+// durability across processes — it exists to give tests, simulations and
+// benchmarks the exact code path of a persistent server (including the
+// record codec round trip) without touching a filesystem, and to exercise
+// simulated restarts by handing the same MemBackend to a fresh server.
+type MemBackend struct {
+	mu    sync.Mutex
+	state []byte
+	tail  [][]byte // encoded records, so Load never aliases live messages
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+var _ Backend = (*MemBackend)(nil)
+
+// Load implements Backend.
+func (b *MemBackend) Load() ([]byte, []Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var state []byte
+	if b.state != nil {
+		state = append([]byte(nil), b.state...)
+	}
+	tail := make([]Record, len(b.tail))
+	for i, enc := range b.tail {
+		rec, err := DecodeRecord(enc)
+		if err != nil {
+			return nil, nil, err
+		}
+		tail[i] = rec
+	}
+	return state, tail, nil
+}
+
+// Append implements Backend.
+func (b *MemBackend) Append(rec Record) error {
+	enc, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tail = append(b.tail, enc)
+	return nil
+}
+
+// WriteSnapshot implements Backend.
+func (b *MemBackend) WriteSnapshot(state []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = append([]byte(nil), state...)
+	b.tail = nil
+	return nil
+}
+
+// Close implements Backend.
+func (b *MemBackend) Close() error { return nil }

@@ -53,8 +53,13 @@ type Client struct {
 	n      int
 	signer *crypto.Signer
 	ring   *crypto.Keyring
-	link   transport.Link
 	onFail func(error)
+
+	// The link has its own lock: Close must be callable while an
+	// operation blocks in link.Recv holding c.mu, and Rebind must not
+	// race either of them.
+	linkMu sync.Mutex
+	link   transport.Link
 
 	mu        sync.Mutex
 	xbar      []byte          // hash of the most recently written value; nil = bottom
@@ -123,8 +128,29 @@ func (c *Client) Version() version.Version {
 	return c.ver.Clone()
 }
 
-// Close closes the transport link, unblocking any pending operation.
-func (c *Client) Close() error { return c.link.Close() }
+// getLink returns the current transport link.
+func (c *Client) getLink() transport.Link {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	return c.link
+}
+
+// Close closes the current transport link, unblocking any pending
+// operation.
+func (c *Client) Close() error { return c.getLink().Close() }
+
+// Rebind replaces the client's transport link, keeping all protocol state
+// (version, xbar, deferred piggyback COMMIT). Use it to reconnect after a
+// server restart: the client resumes exactly where it left off, and its
+// line 36 check then verifies that the server really recovered every
+// operation the client committed — a rolled-back server is detected as
+// faulty on the next operation. The caller is responsible for closing the
+// old link; do not Rebind while an operation is in flight.
+func (c *Client) Rebind(link transport.Link) {
+	c.linkMu.Lock()
+	defer c.linkMu.Unlock()
+	c.link = link
+}
 
 // Write implements write_i(X_i, x) (Algorithm 1 lines 8-10).
 func (c *Client) Write(x []byte) error {
@@ -162,7 +188,7 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
-	if err := c.link.Send(submit); err != nil {
+	if err := c.getLink().Send(submit); err != nil {
 		return OpResult{}, fmt.Errorf("ustor: submitting write: %w", err)
 	}
 
@@ -203,7 +229,7 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
-	if err := c.link.Send(submit); err != nil {
+	if err := c.getLink().Send(submit); err != nil {
 		return ReadResult{}, fmt.Errorf("ustor: submitting read: %w", err)
 	}
 
@@ -231,7 +257,7 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 // recvReply waits for the REPLY message. A response of the wrong shape is
 // itself evidence of server misbehavior.
 func (c *Client) recvReply(isRead bool) (*wire.Reply, error) {
-	m, err := c.link.Recv()
+	m, err := c.getLink().Recv()
 	if err != nil {
 		return nil, fmt.Errorf("ustor: awaiting reply: %w", err)
 	}
@@ -374,7 +400,7 @@ func (c *Client) commit() (wire.SignedVersion, error) {
 	msg := &wire.Commit{Ver: c.ver.Clone(), CommitSig: phi, ProofSig: psi}
 	if c.piggyback {
 		c.pending = msg
-	} else if err := c.link.Send(msg); err != nil {
+	} else if err := c.getLink().Send(msg); err != nil {
 		return wire.SignedVersion{}, fmt.Errorf("ustor: sending commit: %w", err)
 	}
 	return wire.SignedVersion{Committer: c.id, Ver: c.ver.Clone(), Sig: phi}, nil
@@ -397,7 +423,7 @@ func (c *Client) Flush() error {
 	if msg == nil {
 		return nil
 	}
-	if err := c.link.Send(msg); err != nil {
+	if err := c.getLink().Send(msg); err != nil {
 		return fmt.Errorf("ustor: flushing commit: %w", err)
 	}
 	return nil

@@ -13,6 +13,7 @@
 package ustor
 
 import (
+	"fmt"
 	"sync"
 
 	"faust/internal/version"
@@ -134,6 +135,45 @@ func (s *Server) HandleCommit(from int, m *wire.Commit) {
 		Sig:       append([]byte(nil), m.CommitSig...),
 	}
 	s.p[from] = append([]byte(nil), m.ProofSig...)
+}
+
+// ExportState serializes the server's complete state (MEM, c, SVER, L, P)
+// with the canonical wire.ServerState encoding. Together with
+// RestoreState it makes the server snapshottable: because the server is a
+// deterministic state machine, restoring a snapshot and replaying the
+// SUBMIT/COMMIT messages received afterwards reproduces the state exactly.
+// Package store builds its WAL + snapshot persistence on this pair.
+func (s *Server) ExportState() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.EncodeServerState(&wire.ServerState{
+		N:    s.n,
+		C:    s.c,
+		Mem:  s.mem,
+		Sver: s.sver,
+		L:    s.l,
+		P:    s.p,
+	})
+}
+
+// RestoreState replaces the server's state with a previously exported one.
+// The snapshot's dimension must match the server's n.
+func (s *Server) RestoreState(data []byte) error {
+	st, err := wire.DecodeServerState(data)
+	if err != nil {
+		return fmt.Errorf("ustor: decoding server state: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.N != s.n {
+		return fmt.Errorf("ustor: snapshot is for %d clients, server has %d", st.N, s.n)
+	}
+	s.mem = st.Mem
+	s.c = st.C
+	s.sver = st.Sver
+	s.l = st.L
+	s.p = st.P
+	return nil
 }
 
 // PendingOps returns the current length of L, i.e. the number of
