@@ -12,12 +12,19 @@
 // Run a subset:
 //
 //	go run ./cmd/faust-bench -run rounds,msgsize,waitfree
+//
+// Machine-readable output for trajectory tracking: -json <file> appends
+// one JSON record per measured row, {"experiment","n","ns_per_op",
+// "bytes_per_op","allocs_per_op"}, so successive runs across PRs can be
+// compared (the BENCH_*.json files).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,8 +48,59 @@ type experiment struct {
 	run  func()
 }
 
+// benchResult is one machine-readable measurement row, written by -json.
+type benchResult struct {
+	Experiment  string  `json:"experiment"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// results collects every measured row of the run; experiments append via
+// measured.
+var results []benchResult
+
+// measured times f over ops operations and records wall time plus heap
+// allocation per operation (process-wide, like testing.B -benchmem). The
+// duration is returned for the human-readable tables.
+func measured(experiment string, n, ops int, f func()) time.Duration {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	results = append(results, benchResult{
+		Experiment:  experiment,
+		N:           n,
+		NsPerOp:     float64(d.Nanoseconds()) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+	})
+	return d
+}
+
+// writeJSON appends the collected rows to path, one JSON object per line,
+// so successive runs accumulate a comparable trajectory.
+func writeJSON(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment names (default: all)")
+	jsonFlag := flag.String("json", "", "append machine-readable results to this file (one JSON record per row)")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -56,6 +114,7 @@ func main() {
 		{"overhead", "E14: throughput of trusted vs USTOR vs FAUST vs lock-step", expOverhead},
 		{"crypto", "E12: cryptographic cost per operation", expCrypto},
 		{"persist", "E15: durability cost — in-memory vs WAL-logged server (fsync off/on)", expPersist},
+		{"throughput", "E16: concurrent multi-client throughput, in-memory vs group-commit WAL", expThroughput},
 	}
 
 	want := map[string]bool{}
@@ -72,6 +131,12 @@ func main() {
 		e.run()
 	}
 	fmt.Println()
+	if *jsonFlag != "" {
+		if err := writeJSON(*jsonFlag); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d benchmark records to %s\n", len(results), *jsonFlag)
+	}
 }
 
 // expRounds counts messages per operation: the paper claims a single
@@ -129,20 +194,20 @@ func expLatency() {
 	for _, n := range []int{2, 4, 8, 16} {
 		cl := sim.NewCluster(n, sim.Options{})
 		const ops = 300
-		start := time.Now()
-		for i := 0; i < ops; i++ {
-			if err := cl.Write(0, []byte(fmt.Sprintf("v%d", i))); err != nil {
-				fail(err)
+		writeLat := measured("latency/write", n, ops, func() {
+			for i := 0; i < ops; i++ {
+				if err := cl.Write(0, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					fail(err)
+				}
 			}
-		}
-		writeLat := time.Since(start)
-		start = time.Now()
-		for i := 0; i < ops; i++ {
-			if _, err := cl.Read(0, (i%(n-1))+1); err != nil {
-				fail(err)
+		})
+		readLat := measured("latency/read", n, ops, func() {
+			for i := 0; i < ops; i++ {
+				if _, err := cl.Read(0, (i%(n-1))+1); err != nil {
+					fail(err)
+				}
 			}
-		}
-		readLat := time.Since(start)
+		})
 		cl.Stop()
 		fmt.Printf("%-6d %12.1f %12.1f\n", n,
 			float64(writeLat.Microseconds())/ops, float64(readLat.Microseconds())/ops)
@@ -498,40 +563,40 @@ func expPersist() {
 	const n, opsPer = 4, 150
 	ring, signers := crypto.NewTestKeyring(n, 10)
 
-	run := func(core transport.ServerCore) time.Duration {
+	run := func(experiment string, core transport.ServerCore) time.Duration {
 		net := transport.NewNetwork(n, core)
 		defer net.Stop()
 		clients := make([]*ustor.Client, n)
 		for i := range clients {
 			clients[i] = ustor.NewClient(i, ring, signers[i], net.ClientLink(i))
 		}
-		start := time.Now()
-		done := make(chan error, n)
-		for c := 0; c < n; c++ {
-			go func(c int) {
-				for i := 0; i < opsPer; i++ {
-					if err := clients[c].Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
-						done <- err
-						return
+		return measured(experiment, n, n*opsPer, func() {
+			done := make(chan error, n)
+			for c := 0; c < n; c++ {
+				go func(c int) {
+					for i := 0; i < opsPer; i++ {
+						if err := clients[c].Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+							done <- err
+							return
+						}
 					}
-				}
-				done <- nil
-			}(c)
-		}
-		for c := 0; c < n; c++ {
-			if err := <-done; err != nil {
-				fail(err)
+					done <- nil
+				}(c)
 			}
-		}
-		return time.Since(start)
+			for c := 0; c < n; c++ {
+				if err := <-done; err != nil {
+					fail(err)
+				}
+			}
+		})
 	}
 
-	runPersistent := func(backend store.Backend) time.Duration {
+	runPersistent := func(experiment string, backend store.Backend) time.Duration {
 		ps, err := store.Open(ustor.NewServer(n), backend, store.Options{SnapshotEvery: 256})
 		if err != nil {
 			fail(err)
 		}
-		d := run(ps)
+		d := run(experiment, ps)
 		if err := ps.Close(); err != nil {
 			fail(err)
 		}
@@ -543,34 +608,113 @@ func expPersist() {
 			_ = os.RemoveAll(d)
 		}
 	}()
-	fileBackend := func(fsync bool) store.Backend {
+	fileBackend := func(opts store.FileOptions) store.Backend {
 		dir, err := os.MkdirTemp("", "faust-bench-persist")
 		if err != nil {
 			fail(err)
 		}
 		tmpDirs = append(tmpDirs, dir)
-		b, err := store.OpenFile(dir, store.FileOptions{Fsync: fsync})
+		b, err := store.OpenFile(dir, opts)
 		if err != nil {
 			fail(err)
 		}
 		return b
 	}
+	groupCommit := store.FileOptions{GroupCommit: true, FlushInterval: 2 * time.Millisecond}
+	groupCommitFsync := store.FileOptions{Fsync: true, GroupCommit: true, FlushInterval: 2 * time.Millisecond}
 
 	type row struct {
 		name string
 		d    time.Duration
 	}
 	rows := []row{
-		{"in-memory (no persistence)", run(ustor.NewServer(n))},
-		{"WAL, MemBackend (codec only)", runPersistent(store.NewMemBackend())},
-		{"WAL, FileBackend, fsync off", runPersistent(fileBackend(false))},
-		{"WAL, FileBackend, fsync on", runPersistent(fileBackend(true))},
+		{"in-memory (no persistence)", run("persist/mem", ustor.NewServer(n))},
+		{"WAL, MemBackend (codec only)", runPersistent("persist/wal-mem", store.NewMemBackend())},
+		{"WAL, FileBackend, fsync off", runPersistent("persist/wal-file", fileBackend(groupCommit))},
+		{"WAL, FileBackend, fsync+group", runPersistent("persist/wal-file-fsync", fileBackend(groupCommitFsync))},
+		{"WAL, FileBackend, fsync each", runPersistent("persist/wal-file-fsync-each", fileBackend(store.FileOptions{Fsync: true}))},
 	}
 	total := float64(n * opsPer)
 	base := rows[0].d.Seconds()
 	fmt.Printf("%-34s %14s %12s\n", "server", "writes/sec", "vs memory")
 	for _, r := range rows {
 		fmt.Printf("%-34s %14.0f %11.2fx\n", r.name, total/r.d.Seconds(), r.d.Seconds()/base)
+	}
+}
+
+// expThroughput measures aggregate multi-client throughput over a
+// read/write mix — the sustained-load number the ROADMAP tracks — against
+// an in-memory server and a group-commit, fsync'd WAL server.
+func expThroughput() {
+	const opsPer = 200
+	run := func(experiment string, m int, readFrac float64, core transport.ServerCore) float64 {
+		ring, signers := crypto.NewTestKeyring(m, 11)
+		net := transport.NewNetwork(m, core)
+		defer net.Stop()
+		clients := make([]*ustor.Client, m)
+		for i := range clients {
+			clients[i] = ustor.NewClient(i, ring, signers[i], net.ClientLink(i))
+		}
+		w := workload.New(m, workload.Config{ReadFraction: readFrac, ValueSize: 64, Seed: 12})
+		for i, c := range clients { // seed registers so reads return values
+			if err := c.Write(w.Stream(i).NextWrite().Value); err != nil {
+				fail(err)
+			}
+		}
+		d := measured(experiment, m, m*opsPer, func() {
+			done := make(chan error, m)
+			for c := 0; c < m; c++ {
+				go func(c int) {
+					s := w.Stream(c)
+					for i := 0; i < opsPer; i++ {
+						op := s.Next()
+						var err error
+						if op.IsWrite {
+							err = clients[c].Write(op.Value)
+						} else {
+							_, err = clients[c].Read(op.Reg)
+						}
+						if err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(c)
+			}
+			for c := 0; c < m; c++ {
+				if err := <-done; err != nil {
+					fail(err)
+				}
+			}
+		})
+		return float64(m*opsPer) / d.Seconds()
+	}
+
+	fmt.Printf("%-10s %-10s %16s %22s\n", "clients", "reads", "memory ops/sec", "wal fsync+group ops/sec")
+	for _, tc := range []struct {
+		m        int
+		readFrac float64
+	}{{4, 0.5}, {8, 0.5}, {8, 0.9}} {
+		mem := run(fmt.Sprintf("throughput/mem/reads=%.0f%%", tc.readFrac*100), tc.m, tc.readFrac, ustor.NewServer(tc.m))
+
+		dir, err := os.MkdirTemp("", "faust-bench-throughput")
+		if err != nil {
+			fail(err)
+		}
+		backend, err := store.OpenFile(dir, store.FileOptions{Fsync: true, GroupCommit: true, FlushInterval: 2 * time.Millisecond})
+		if err != nil {
+			fail(err)
+		}
+		ps, err := store.Open(ustor.NewServer(tc.m), backend, store.Options{SnapshotEvery: 4096})
+		if err != nil {
+			fail(err)
+		}
+		wal := run(fmt.Sprintf("throughput/wal-gc/reads=%.0f%%", tc.readFrac*100), tc.m, tc.readFrac, ps)
+		_ = ps.Close()
+		_ = os.RemoveAll(dir)
+
+		fmt.Printf("%-10d %-10s %16.0f %22.0f\n", tc.m, fmt.Sprintf("%.0f%%", tc.readFrac*100), mem, wal)
 	}
 }
 

@@ -32,10 +32,17 @@
 // client observed it. Snapshots rotate atomically (tmp + rename), so a
 // crash during rotation leaves the previous baseline intact.
 //
-// -fsync syncs the WAL after every append: off, state survives process
-// crashes (OS page cache); on, it also survives power loss at a heavy
-// per-operation cost (see BenchmarkServerPersist and faust-bench -run
-// persist).
+// -fsync makes WAL records survive power loss: off, state survives process
+// crashes (OS page cache); on, it also survives power loss (see
+// BenchmarkServerPersist and faust-bench -run persist).
+//
+// The WAL runs in group-commit mode by default (-group-commit=false for
+// per-record writes): records buffer briefly and reach the disk as one
+// batched write plus — with -fsync — a single fdatasync that covers every
+// record a REPLY depends on. -flush-interval bounds how long an idle
+// COMMIT may stay buffered; losing one to a crash inside that window is
+// fail-safe (the committing client reports the rollback rather than
+// accepting it).
 //
 // Durability is deliberately unauthenticated: a data directory altered by
 // an attacker (e.g. a truncated WAL rolling the state back) recovers
@@ -52,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -63,7 +71,9 @@ func main() {
 	n := flag.Int("n", 3, "number of clients (registers)")
 	dataDir := flag.String("data-dir", "", "persistence directory; empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "rotate a state snapshot every N logged records (0 = never)")
-	fsync := flag.Bool("fsync", false, "fsync the WAL after every append (survives power loss, much slower)")
+	fsync := flag.Bool("fsync", false, "sync the WAL before every reply (survives power loss, slower)")
+	groupCommit := flag.Bool("group-commit", true, "batch WAL records into one write+sync per reply instead of one per record")
+	flushInterval := flag.Duration("flush-interval", 2*time.Millisecond, "group-commit: max time a buffered record may wait for a background flush")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -73,7 +83,11 @@ func main() {
 	var core transport.ServerCore = ustor.NewServer(*n)
 	var ps *store.Persistent
 	if *dataDir != "" {
-		backend, err := store.OpenFile(*dataDir, store.FileOptions{Fsync: *fsync})
+		backend, err := store.OpenFile(*dataDir, store.FileOptions{
+			Fsync:         *fsync,
+			GroupCommit:   *groupCommit,
+			FlushInterval: *flushInterval,
+		})
 		if err != nil {
 			log.Fatalf("faust-server: %v", err)
 		}
@@ -82,8 +96,8 @@ func main() {
 			log.Fatalf("faust-server: recovering state: %v", err)
 		}
 		fromSnap, replayed := ps.Recovered()
-		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v)\n",
-			*dataDir, fromSnap, replayed, *fsync)
+		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v, group-commit: %v)\n",
+			*dataDir, fromSnap, replayed, *fsync, *groupCommit)
 		core = ps
 	}
 

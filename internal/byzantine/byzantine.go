@@ -130,13 +130,17 @@ type ReplyTamperServer struct {
 
 var _ transport.ServerCore = (*ReplyTamperServer)(nil)
 
-// HandleSubmit delegates and then tampers.
+// HandleSubmit delegates and then tampers. The reply is deep-cloned
+// before it reaches Tamper: the correct server hands out copy-on-write
+// snapshots aliasing its live state, and a tamper that mutated those in
+// place would corrupt the inner server for every client instead of lying
+// to this one.
 func (t *ReplyTamperServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 	r := t.Inner.HandleSubmit(from, s)
 	if r == nil || t.Tamper == nil {
 		return r
 	}
-	return t.Tamper(from, r)
+	return t.Tamper(from, r.Clone())
 }
 
 // HandleCommit delegates.

@@ -15,7 +15,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	mathrand "math/rand"
+	mathrand "math/rand/v2"
+	"sync"
 )
 
 // HashSize is the size in bytes of hash values produced by Hash.
@@ -33,14 +34,37 @@ const (
 	DomainLSChain byte = 5
 )
 
+// scratchPool recycles the concatenation / domain-prefix buffers used by
+// Hash, Sign and Verify so the steady-state hot path performs no heap
+// allocation beyond the returned digest or signature.
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
 // Hash returns the SHA-256 digest of the concatenation of the given byte
-// slices.
+// slices. The digest is computed with a stack [32]byte sum (sha256.Sum256)
+// over a pooled concatenation buffer; the only allocation is the returned
+// 32-byte slice.
 func Hash(parts ...[]byte) []byte {
-	h := sha256.New()
-	for _, p := range parts {
-		h.Write(p)
+	return HashInto(nil, parts...)
+}
+
+// HashInto appends the SHA-256 digest of the concatenation of parts to dst
+// and returns the extended slice. With a dst of sufficient capacity the
+// call is allocation-free. The digest is fully computed before dst is
+// written, so dst[:0] may alias one of the parts.
+func HashInto(dst []byte, parts ...[]byte) []byte {
+	if len(parts) == 1 {
+		sum := sha256.Sum256(parts[0])
+		return append(dst, sum[:]...)
 	}
-	return h.Sum(nil)
+	bp := scratchPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	sum := sha256.Sum256(buf)
+	*bp = buf
+	scratchPool.Put(bp)
+	return append(dst, sum[:]...)
 }
 
 // HashOrNil returns nil when x is nil (the paper's bottom value) and
@@ -69,12 +93,17 @@ type Signer struct {
 // ID returns the client index this signer signs for.
 func (s *Signer) ID() int { return s.id }
 
-// Sign produces a signature over the given domain-separated payload.
+// Sign produces a signature over the given domain-separated payload. The
+// domain-prefixed message is assembled in a pooled scratch buffer, so the
+// only allocation is the returned signature.
 func (s *Signer) Sign(domain byte, payload []byte) []byte {
-	msg := make([]byte, 0, 1+len(payload))
-	msg = append(msg, domain)
+	bp := scratchPool.Get().(*[]byte)
+	msg := append((*bp)[:0], domain)
 	msg = append(msg, payload...)
-	return ed25519.Sign(s.key, msg)
+	sig := ed25519.Sign(s.key, msg)
+	*bp = msg
+	scratchPool.Put(bp)
+	return sig
 }
 
 // Keyring holds the public keys of all n clients and, optionally, the
@@ -98,10 +127,13 @@ func (k *Keyring) Verify(i int, sig []byte, domain byte, payload []byte) bool {
 	if len(sig) != ed25519.SignatureSize {
 		return false
 	}
-	msg := make([]byte, 0, 1+len(payload))
-	msg = append(msg, domain)
+	bp := scratchPool.Get().(*[]byte)
+	msg := append((*bp)[:0], domain)
 	msg = append(msg, payload...)
-	return ed25519.Verify(k.pubs[i], msg, sig)
+	ok := ed25519.Verify(k.pubs[i], msg, sig)
+	*bp = msg
+	scratchPool.Put(bp)
+	return ok
 }
 
 // GenerateKeyring creates a fresh keyring for n clients with cryptographic
@@ -130,13 +162,13 @@ func NewTestKeyring(n int, seed int64) (*Keyring, []*Signer) {
 	if n <= 0 {
 		panic(fmt.Sprintf("crypto: test keyring size must be positive, got %d", n))
 	}
-	rng := mathrand.New(mathrand.NewSource(seed))
+	rng := mathrand.New(mathrand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))
 	ring := &Keyring{pubs: make([]ed25519.PublicKey, n)}
 	signers := make([]*Signer, n)
 	for i := 0; i < n; i++ {
 		seedBytes := make([]byte, ed25519.SeedSize)
 		for j := range seedBytes {
-			seedBytes[j] = byte(rng.Intn(256))
+			seedBytes[j] = byte(rng.IntN(256))
 		}
 		priv := ed25519.NewKeyFromSeed(seedBytes)
 		ring.pubs[i] = priv.Public().(ed25519.PublicKey)

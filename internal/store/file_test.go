@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"faust/internal/wire"
 )
@@ -242,6 +243,100 @@ func TestRollbackWAL(t *testing.T) {
 	// Dropping more records than exist empties the log without error.
 	if remaining, err = RollbackWAL(dir, 99); err != nil || remaining != 0 {
 		t.Fatalf("over-drop: remaining=%d err=%v", remaining, err)
+	}
+}
+
+// TestGroupCommitBackendContract runs the generic Backend contract against
+// the group-commit configuration: buffering must be invisible through the
+// Append/Flush/Close/Load API.
+func TestGroupCommitBackendContract(t *testing.T) {
+	dir := t.TempDir()
+	backendContract(t, func(t *testing.T) Backend {
+		b, err := OpenFile(dir, FileOptions{Fsync: true, GroupCommit: true})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return b
+	})
+}
+
+// TestGroupCommitCrashRecovery simulates a crash of a group-commit backend
+// (no Close, so the segment keeps its preallocated zero padding) and
+// checks that recovery keeps exactly the flushed records, drops the
+// padding, and that RollbackWAL counts only real records on the padded
+// file.
+func TestGroupCommitCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir, FileOptions{Fsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Append(submitRecord(0, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Unflushed tail record: a crash must lose it (and only it).
+	if err := b.Append(submitRecord(0, 99)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := walPath(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != preallocChunk {
+		t.Fatalf("flushed segment size = %d, want preallocated %d", info.Size(), preallocChunk)
+	}
+	if remaining, err := RollbackWAL(dir, 1); err != nil || remaining != 2 {
+		t.Fatalf("RollbackWAL on padded segment: remaining=%d err=%v, want 2", remaining, err)
+	}
+	// Crash: abandon b without Close and recover from the directory.
+	_, tail := loadTail(t, dir)
+	if len(tail) != 2 {
+		t.Fatalf("recovered %d records, want 2 (3 flushed - 1 rolled back; buffered record dropped)", len(tail))
+	}
+	for i, rec := range tail {
+		if rec.Msg.(*wire.Submit).T != int64(i) {
+			t.Fatalf("record %d has T=%d", i, rec.Msg.(*wire.Submit).T)
+		}
+	}
+}
+
+// TestGroupCommitBackgroundFlush checks that the interval flusher makes a
+// lingering buffered record durable without any explicit Flush.
+func TestGroupCommitBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenFile(dir, FileOptions{GroupCommit: true, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, _, err := b.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(submitRecord(0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, err := os.ReadFile(walPath(t, dir))
+		if err == nil && len(data) >= len(walMagic) && string(data[:len(walMagic)]) == walMagic {
+			if recs, _ := scanRecords(data, true); len(recs) == 1 && recs[0].Msg.(*wire.Submit).T == 7 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher did not persist the buffered record")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -31,10 +31,22 @@ type Options struct {
 // state never runs ahead of the log. It implements transport.ServerCore
 // and drops in wherever a plain server is served.
 //
-// If the backend ever fails to append, the server stops replying (nil
-// REPLYs) rather than serve operations it cannot make durable — to the
-// clients this is indistinguishable from a crashed server, which is the
-// honest signal: wait-freedom is lost, integrity is not.
+// Durability points follow the replies. A SUBMIT's record — and, by log
+// order, every record buffered before it — is flushed before its REPLY is
+// returned, so no client ever observes an operation that recovery cannot
+// replay. COMMIT messages have no reply, so their records may stay in the
+// group-commit buffer until the next SUBMIT, snapshot or background flush
+// picks them up. A crash inside that window loses the commit — the same
+// outcome as a crash between receipt and logging, which immediate mode
+// has too, just over a wider (flush-interval-bounded) window. Losing a
+// commit is fail-safe, not silent: the committing client's next operation
+// sees a server version behind its own and reports the server faulty
+// (Algorithm 1 line 36) instead of accepting the rollback.
+//
+// If the backend ever fails to append or flush, the server stops replying
+// (nil REPLYs) rather than serve operations it cannot make durable — to
+// the clients this is indistinguishable from a crashed server, which is
+// the honest signal: wait-freedom is lost, integrity is not.
 type Persistent struct {
 	mu      sync.Mutex
 	core    Core
@@ -85,19 +97,36 @@ func (p *Persistent) Recovered() (fromSnapshot bool, replayed int) {
 	return p.recoveredSnapshot, p.recoveredRecords
 }
 
-// HandleSubmit implements transport.ServerCore: log, then apply.
+// HandleSubmit implements transport.ServerCore: log, apply, and flush the
+// group-commit batch before the reply escapes — one sync then covers this
+// SUBMIT plus every record buffered ahead of it. The flush runs outside
+// p.mu: the backend orders and coalesces concurrent flushes itself, so
+// submitters arriving while a sync is in flight append behind it and
+// share the next one instead of serializing on the wrapper lock.
 func (p *Persistent) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.broken != nil {
+		p.mu.Unlock()
 		return nil
 	}
 	if err := p.backend.Append(Record{From: from, Msg: s}); err != nil {
 		p.broken = err
+		p.mu.Unlock()
 		return nil
 	}
 	reply := p.core.HandleSubmit(from, s)
 	p.bumpLocked()
+	broken := p.broken != nil // snapshot rotation failed: stay silent
+	p.mu.Unlock()
+	if broken {
+		return nil
+	}
+	if err := p.backend.Flush(); err != nil {
+		p.mu.Lock()
+		p.broken = err
+		p.mu.Unlock()
+		return nil
+	}
 	return reply
 }
 

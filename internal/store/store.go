@@ -81,27 +81,35 @@ func DecodeRecord(data []byte) (Record, error) {
 
 // Backend persists server state as a snapshot plus a log tail. The
 // Persistent wrapper drives it with WAL discipline: Load once on open,
-// Append before every state change, WriteSnapshot periodically.
+// Append before every state change, Flush before any reply escapes,
+// WriteSnapshot periodically.
 //
-// Implementations must be safe for use from one goroutine at a time (the
-// transport serializes handler calls); they need not support concurrent
-// calls.
+// Implementations must be safe for concurrent Append/Flush calls: the
+// group-commit FileBackend coalesces appends from concurrent callers into
+// a single write + sync.
 type Backend interface {
 	// Load returns the recovery baseline: the newest valid snapshot (nil
 	// if none was ever written) and the log records appended after it, in
 	// order. Called once, before any Append or WriteSnapshot.
 	Load() (snapshot []byte, tail []Record, err error)
-	// Append durably logs one record. It must not return until the record
-	// will survive a process crash (and, for durability against power
-	// loss, an fsync-enabled implementation must not return until it
-	// survives that too).
+	// Append logs one record. Immediate-mode backends make it durable
+	// before returning; group-commit backends may buffer, in which case
+	// the record is durable only after the next Flush. Either way the
+	// record's position in the log equals its Append order.
 	Append(rec Record) error
+	// Flush makes every record appended so far durable (to the degree the
+	// backend is configured for — process-crash or power-loss). It must
+	// not return before that point; concurrent Flush calls may coalesce
+	// into one sync. A no-op for immediate-mode backends.
+	Flush() error
 	// WriteSnapshot atomically replaces the recovery baseline: after it
 	// returns, a Load observes state with an empty tail, and log records
 	// covered by the snapshot may be reclaimed. A crash during
-	// WriteSnapshot must leave the previous baseline intact.
+	// WriteSnapshot must leave the previous baseline intact. Buffered
+	// records are flushed or superseded; none are lost.
 	WriteSnapshot(state []byte) error
-	// Close releases resources. The backend stays recoverable.
+	// Close flushes buffered records and releases resources. The backend
+	// stays recoverable.
 	Close() error
 }
 
@@ -151,6 +159,9 @@ func (b *MemBackend) Append(rec Record) error {
 	b.tail = append(b.tail, enc)
 	return nil
 }
+
+// Flush implements Backend. Memory is as durable as a MemBackend gets.
+func (b *MemBackend) Flush() error { return nil }
 
 // WriteSnapshot implements Backend.
 func (b *MemBackend) WriteSnapshot(state []byte) error {

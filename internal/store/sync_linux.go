@@ -1,0 +1,21 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes a file's data (and only the metadata needed to read it
+// back, e.g. size changes) with fdatasync. Combined with segment
+// preallocation this skips the inode timestamp writes a full fsync pays on
+// every group-commit flush.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ustor
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -68,6 +69,25 @@ type Client struct {
 	reason    error
 	piggyback bool
 	pending   *wire.Commit // deferred COMMIT awaiting the next SUBMIT
+
+	// Scratch buffers for signature payloads and value hashes, reused
+	// across operations (guarded by mu). They keep the steady-state
+	// operation path free of per-call allocations; everything that escapes
+	// into a message or result is still freshly allocated or cloned.
+	payload []byte
+	hash    []byte
+
+	// One-entry memo of the last COMMIT-signature known to verify:
+	// (committer, canonical payload, signature). Ed25519 verification is a
+	// pure function, so re-presenting byte-identical inputs needs no second
+	// verification. In steady state the server's SVER[c] is the version
+	// this client just committed (memoized when it signs) or the one it
+	// verified on the previous reply, which removes a full verify from the
+	// hot path without weakening any check: one differing byte falls back
+	// to real verification.
+	memoC       int
+	memoPayload []byte
+	memoSig     []byte
 }
 
 // ClientOption configures a Client.
@@ -100,6 +120,7 @@ func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transpo
 		ring:   ring,
 		link:   link,
 		ver:    version.New(ring.N()),
+		memoC:  -1,
 	}
 	for _, o := range opts {
 		o(c)
@@ -177,9 +198,16 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 	}
 
 	t := c.ver.V[c.id] + 1
-	c.xbar = crypto.HashOrNil(x)
-	sigma := c.signer.Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, c.id, t))
-	delta := c.signer.Sign(crypto.DomainData, wire.DataPayload(t, c.xbar))
+	if x == nil {
+		c.xbar = nil
+	} else {
+		c.hash = crypto.HashInto(c.hash[:0], x)
+		c.xbar = c.hash
+	}
+	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpWrite, c.id, t)
+	sigma := c.signer.Sign(crypto.DomainSubmit, c.payload)
+	c.payload = wire.AppendDataPayload(c.payload[:0], t, c.xbar)
+	delta := c.signer.Sign(crypto.DomainData, c.payload)
 
 	submit := &wire.Submit{
 		T:         t,
@@ -220,8 +248,10 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 	}
 
 	t := c.ver.V[c.id] + 1
-	sigma := c.signer.Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpRead, j, t))
-	delta := c.signer.Sign(crypto.DomainData, wire.DataPayload(t, c.xbar))
+	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpRead, j, t)
+	sigma := c.signer.Sign(crypto.DomainSubmit, c.payload)
+	c.payload = wire.AppendDataPayload(c.payload[:0], t, c.xbar)
+	delta := c.signer.Sign(crypto.DomainData, c.payload)
 
 	submit := &wire.Submit{
 		T:         t,
@@ -313,7 +343,8 @@ func (c *Client) updateVersion(r *wire.Reply) error {
 	// Line 35: the shown version is either the initial one or carries a
 	// valid COMMIT-signature by client C_c.
 	if !vc.IsZero() {
-		if !c.ring.Verify(r.C, r.CVer.Sig, crypto.DomainCommit, wire.CommitPayload(vc)) {
+		c.payload = wire.AppendCommitPayload(c.payload[:0], vc)
+		if !c.verifyCommitSig(r.C, r.CVer.Sig) {
 			return c.fail("COMMIT-signature on SVER[c] invalid (line 35)")
 		}
 	}
@@ -323,8 +354,10 @@ func (c *Client) updateVersion(r *wire.Reply) error {
 		return c.fail("server version does not extend own version (line 36)")
 	}
 
-	// Line 37: adopt (V_c, M_c).
-	c.ver = vc.Clone()
+	// Line 37: adopt (V_c, M_c). CopyFrom reuses c.ver's storage — safe
+	// because everything shared out of c.ver (commit messages, results)
+	// was cloned at the sharing point.
+	c.ver.CopyFrom(vc)
 
 	// Lines 38-45: walk the concurrent operations.
 	d := mc[r.C]
@@ -344,18 +377,20 @@ func (c *Client) updateVersion(r *wire.Reply) error {
 		if k == c.id {
 			return c.fail("own operation listed as concurrent (line 43)")
 		}
-		if !c.ring.Verify(k, inv.SubmitSig, crypto.DomainSubmit,
-			wire.SubmitPayload(inv.Op, inv.Reg, c.ver.V[k])) {
+		c.payload = wire.AppendSubmitPayload(c.payload[:0], inv.Op, inv.Reg, c.ver.V[k])
+		if !c.ring.Verify(k, inv.SubmitSig, crypto.DomainSubmit, c.payload) {
 			return c.fail("SUBMIT-signature for concurrent operation invalid (line 43)")
 		}
-		// Lines 44-45: extend the digest chain.
-		d = version.DigestStep(d, k)
+		// Lines 44-45: extend the digest chain, writing the new digest into
+		// M[k]'s existing storage (DigestStepInto computes before writing,
+		// so d may alias the destination).
+		d = version.DigestStepInto(c.ver.M[k][:0], d, k)
 		c.ver.M[k] = d
 	}
 
 	// Lines 46-47: append the own operation.
 	c.ver.V[c.id]++
-	c.ver.M[c.id] = version.DigestStep(d, c.id)
+	c.ver.M[c.id] = version.DigestStepInto(c.ver.M[c.id][:0], d, c.id)
 	return nil
 }
 
@@ -367,14 +402,15 @@ func (c *Client) checkData(r *wire.Reply, j int) error {
 
 	// Line 49: the writer's version is initial or properly signed by C_j.
 	if !vj.IsZero() {
-		if !c.ring.Verify(j, r.JVer.Sig, crypto.DomainCommit, wire.CommitPayload(vj)) {
+		c.payload = wire.AppendCommitPayload(c.payload[:0], vj)
+		if !c.verifyCommitSig(j, r.JVer.Sig) {
 			return c.fail("COMMIT-signature on SVER[j] invalid (line 49)")
 		}
 	}
 	// Line 50: the value integrity check via the DATA-signature.
 	if tj != 0 {
-		if !c.ring.Verify(j, r.Mem.DataSig, crypto.DomainData,
-			wire.DataPayload(tj, crypto.HashOrNil(xj))) {
+		c.payload = wire.AppendDataPayload(c.payload[:0], tj, crypto.HashOrNil(xj))
+		if !c.ring.Verify(j, r.Mem.DataSig, crypto.DomainData, c.payload) {
 			return c.fail("DATA-signature on returned value invalid (line 50)")
 		}
 	}
@@ -391,19 +427,52 @@ func (c *Client) checkData(r *wire.Reply, j int) error {
 	return nil
 }
 
+// verifyCommitSig checks a COMMIT-signature by client i over the payload
+// currently in c.payload, consulting the one-entry verification memo
+// first. A hit is exactly as strong as a fresh verification (same pure
+// function, same inputs); a miss verifies for real and refreshes the memo.
+func (c *Client) verifyCommitSig(i int, sig []byte) bool {
+	if i == c.memoC && bytes.Equal(c.payload, c.memoPayload) && bytes.Equal(sig, c.memoSig) {
+		return true
+	}
+	if !c.ring.Verify(i, sig, crypto.DomainCommit, c.payload) {
+		return false
+	}
+	c.memoize(i, c.payload, sig)
+	return true
+}
+
+// memoize records a (committer, payload, signature) triple known to
+// verify, copying into owned buffers reused across operations.
+func (c *Client) memoize(i int, payload, sig []byte) {
+	c.memoC = i
+	c.memoPayload = append(c.memoPayload[:0], payload...)
+	c.memoSig = append(c.memoSig[:0], sig...)
+}
+
 // commit signs the COMMIT message (lines 18-19 / 31-32) and either sends
 // it immediately or defers it to the next SUBMIT (piggyback mode). It
 // returns the signed version for the caller.
 func (c *Client) commit() (wire.SignedVersion, error) {
-	phi := c.signer.Sign(crypto.DomainCommit, wire.CommitPayload(c.ver))
+	c.payload = wire.AppendCommitPayload(c.payload[:0], c.ver)
+	phi := c.signer.Sign(crypto.DomainCommit, c.payload)
+	// The client's own signature over its own version trivially verifies;
+	// memoizing it here is what makes the next reply's SVER[c] check a
+	// memo hit in the common uncontended case.
+	c.memoize(c.id, c.payload, phi)
 	psi := c.signer.Sign(crypto.DomainProof, wire.ProofPayload(c.ver.M[c.id]))
-	msg := &wire.Commit{Ver: c.ver.Clone(), CommitSig: phi, ProofSig: psi}
+	// One clone, shared by the COMMIT message and the returned result:
+	// both treat the version as immutable (the server adopts received
+	// versions without writing through them, and the FAUST layer clones on
+	// retention), while c.ver itself keeps mutating in later operations.
+	sv := c.ver.Clone()
+	msg := &wire.Commit{Ver: sv, CommitSig: phi, ProofSig: psi}
 	if c.piggyback {
 		c.pending = msg
 	} else if err := c.getLink().Send(msg); err != nil {
 		return wire.SignedVersion{}, fmt.Errorf("ustor: sending commit: %w", err)
 	}
-	return wire.SignedVersion{Committer: c.id, Ver: c.ver.Clone(), Sig: phi}, nil
+	return wire.SignedVersion{Committer: c.id, Ver: sv, Sig: phi}, nil
 }
 
 // takePending returns and clears the deferred COMMIT. Caller holds c.mu.

@@ -22,9 +22,33 @@ import (
 
 // Server is the correct USTOR server of Algorithm 2. It is a pure state
 // machine driven by HandleSubmit / HandleCommit; package transport
-// serializes the calls, matching the paper's atomic event handlers. The
+// serializes the calls, matching the paper's atomic event handlers, but
+// the server is additionally safe for concurrent handler calls. The
 // server keeps no secrets and verifies nothing — all integrity guarantees
 // come from the client-side checks.
+//
+// # Copy-on-write replies
+//
+// REPLY messages share memory with server state instead of deep-copying
+// it. That is safe because the state is managed copy-on-write:
+//
+//   - L is append-only between commits. A reply takes a length-and-
+//     capacity-capped view (l[:len:len]) of the current tuples; later
+//     appends land beyond the view's capacity (or in a new backing array)
+//     and existing entries are never mutated in place. A commit that
+//     truncates L installs a freshly allocated slice, leaving every view
+//     handed out earlier intact.
+//   - P is an immutable array: a commit installs a new [][]byte with the
+//     one entry replaced rather than writing through the old one.
+//   - SVER entries and MEM entries are replaced wholesale; the versions
+//     and signatures they reference come from received messages, which
+//     are immutable once handed to the server.
+//
+// The one exception is MEM[j] in read replies: its value is handed to
+// application code (which may retain or mutate the returned slice), so it
+// is still deep-copied — outside the critical section.
+//
+// gen counts state mutations; tests use it to correlate snapshots.
 type Server struct {
 	mu sync.Mutex
 
@@ -34,6 +58,7 @@ type Server struct {
 	sver []wire.SignedVersion // SVER: last version and COMMIT-signature per client
 	l    []wire.Invocation    // L: invocation tuples of concurrent (uncommitted) operations
 	p    [][]byte             // P: PROOF-signatures per client
+	gen  uint64               // state generation, bumped on every mutation
 }
 
 // compile-time interface check lives in transport tests; avoid the import
@@ -64,49 +89,64 @@ func NewServer(n int) *Server {
 func (s *Server) N() int { return s.n }
 
 // HandleSubmit implements Algorithm 2 lines 107-116. It updates MEM,
-// builds the REPLY from the pre-append state of L, and appends the new
-// invocation tuple afterwards, so an operation's own tuple is never in its
-// REPLY. A piggybacked COMMIT (Section 5 optimization) is processed
-// first, exactly as if it had arrived as its own message.
+// snapshots the pre-append state of L (so an operation's own tuple is
+// never in its REPLY), appends the new invocation tuple, and assembles the
+// REPLY from the copy-on-write snapshot outside the critical section —
+// HandleSubmit holds the mutex only for a few pointer-sized writes and is
+// O(1) allocation regardless of n. A piggybacked COMMIT (Section 5
+// optimization) is processed first, exactly as if it had arrived as its
+// own message.
 func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
 	if m.Piggyback != nil {
 		s.HandleCommit(from, m.Piggyback)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if from < 0 || from >= s.n {
 		return nil
 	}
+	isRead := m.Inv.Op == wire.OpRead
+	j := m.Inv.Reg
+	if isRead && (j < 0 || j >= s.n) {
+		return nil
+	}
 
-	var reply *wire.Reply
-	if m.Inv.Op == wire.OpRead {
-		j := m.Inv.Reg
-		if j < 0 || j >= s.n {
-			return nil
-		}
+	var (
+		c    int
+		cver wire.SignedVersion
+		jver wire.SignedVersion
+		mem  wire.MemEntry
+	)
+	s.mu.Lock()
+	if isRead {
 		// Reads refresh the timestamp and DATA-signature but keep the
 		// stored value (line 110).
 		s.mem[from] = wire.MemEntry{T: m.T, Value: s.mem[from].Value, DataSig: m.DataSig}
-		reply = &wire.Reply{
-			IsRead: true,
-			C:      s.c,
-			CVer:   s.sver[s.c].Clone(),
-			JVer:   s.sver[j].Clone(),
-			Mem:    s.mem[j].Clone(),
-			L:      s.cloneL(),
-			P:      s.cloneP(),
-		}
+		jver = s.sver[j]
+		mem = s.mem[j]
 	} else {
 		s.mem[from] = wire.MemEntry{T: m.T, Value: m.Value, DataSig: m.DataSig}
-		reply = &wire.Reply{
-			IsRead: false,
-			C:      s.c,
-			CVer:   s.sver[s.c].Clone(),
-			L:      s.cloneL(),
-			P:      s.cloneP(),
-		}
 	}
+	c = s.c
+	cver = s.sver[c]
+	l := s.l[:len(s.l):len(s.l)] // COW view of the pre-append tuples
+	p := s.p                     // immutable COW array
 	s.l = append(s.l, m.Inv)
+	s.gen++
+	s.mu.Unlock()
+
+	reply := &wire.Reply{
+		IsRead: isRead,
+		C:      c,
+		CVer:   cver,
+		L:      l,
+		P:      p,
+	}
+	if isRead {
+		reply.JVer = jver
+		// MEM[j]'s value escapes to application code; deep-copy it, but
+		// outside the lock — the entry's byte slices are never mutated in
+		// place, only replaced.
+		reply.Mem = mem.Clone()
+	}
 	return reply
 }
 
@@ -114,27 +154,32 @@ func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
 // version exceeds the current maximum, the committer becomes the new
 // schedule head and its tuple — plus all earlier tuples — leave L.
 func (s *Server) HandleCommit(from int, m *wire.Commit) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if from < 0 || from >= s.n {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	vc := s.sver[s.c].Ver
 	if version.VectorLess(vc.V, m.Ver.V) {
 		s.c = from
 		for idx := len(s.l) - 1; idx >= 0; idx-- {
 			if s.l[idx].Client == from {
+				// COW: install a fresh slice; views of the old L handed out
+				// in earlier replies stay intact.
 				s.l = append([]wire.Invocation(nil), s.l[idx+1:]...)
 				break
 			}
 		}
 	}
-	s.sver[from] = wire.SignedVersion{
-		Committer: from,
-		Ver:       m.Ver.Clone(),
-		Sig:       append([]byte(nil), m.CommitSig...),
-	}
-	s.p[from] = append([]byte(nil), m.ProofSig...)
+	// The message is immutable once received, so its version and signatures
+	// can be adopted without cloning.
+	s.sver[from] = wire.SignedVersion{Committer: from, Ver: m.Ver, Sig: m.CommitSig}
+	// COW: replies alias P, so replace the array instead of writing through.
+	newP := make([][]byte, s.n)
+	copy(newP, s.p)
+	newP[from] = m.ProofSig
+	s.p = newP
+	s.gen++
 }
 
 // ExportState serializes the server's complete state (MEM, c, SVER, L, P)
@@ -173,7 +218,17 @@ func (s *Server) RestoreState(data []byte) error {
 	s.sver = st.Sver
 	s.l = st.L
 	s.p = st.P
+	s.gen++
 	return nil
+}
+
+// Generation returns the state-mutation counter. Every HandleSubmit,
+// HandleCommit and RestoreState bumps it; tests use it to correlate reply
+// snapshots with server state.
+func (s *Server) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // PendingOps returns the current length of L, i.e. the number of
@@ -183,26 +238,4 @@ func (s *Server) PendingOps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.l)
-}
-
-// cloneL snapshots L. REPLY messages must not alias server state: the
-// in-memory transport hands the same object to the client.
-func (s *Server) cloneL() []wire.Invocation {
-	out := make([]wire.Invocation, len(s.l))
-	for i, inv := range s.l {
-		out[i] = inv
-		out[i].SubmitSig = append([]byte(nil), inv.SubmitSig...)
-	}
-	return out
-}
-
-// cloneP snapshots P.
-func (s *Server) cloneP() [][]byte {
-	out := make([][]byte, len(s.p))
-	for i, sig := range s.p {
-		if sig != nil {
-			out[i] = append([]byte(nil), sig...)
-		}
-	}
-	return out
 }

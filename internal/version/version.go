@@ -48,6 +48,34 @@ func (v Version) Clone() Version {
 	return c
 }
 
+// CopyFrom makes v a deep copy of w, reusing v's backing storage where
+// possible. When the dimensions match and v's digest entries have capacity
+// for w's (the steady state — all non-initial digests are HashSize bytes),
+// the copy performs no allocation. v must own its storage exclusively:
+// digests previously shared out of v (e.g. inside sent messages) must have
+// been cloned at the sharing point.
+func (v *Version) CopyFrom(w Version) {
+	if cap(v.V) < len(w.V) {
+		v.V = make([]int64, len(w.V))
+	}
+	v.V = v.V[:len(w.V)]
+	copy(v.V, w.V)
+	if cap(v.M) < len(w.M) {
+		v.M = make([][]byte, len(w.M))
+	}
+	v.M = v.M[:len(w.M)]
+	for i, d := range w.M {
+		switch {
+		case d == nil:
+			v.M[i] = nil
+		case cap(v.M[i]) >= len(d):
+			v.M[i] = append(v.M[i][:0], d...)
+		default:
+			v.M[i] = append([]byte(nil), d...)
+		}
+	}
+}
+
 // IsZero reports whether v is the initial version (0^n, bottom^n).
 func (v Version) IsZero() bool {
 	for _, t := range v.V {
@@ -160,9 +188,16 @@ func VectorLess(v, w []int64) bool {
 // empty sequence. All non-initial digests are exactly HashSize bytes, so
 // the encoding is prefix-unambiguous.
 func DigestStep(d []byte, k int) []byte {
+	return DigestStepInto(nil, d, k)
+}
+
+// DigestStepInto is DigestStep appending into dst: with capacity for
+// HashSize bytes the call is allocation-free. The digest is computed
+// before dst is written, so dst[:0] may alias d itself.
+func DigestStepInto(dst []byte, d []byte, k int) []byte {
 	var idx [4]byte
 	binary.BigEndian.PutUint32(idx[:], uint32(k))
-	return crypto.Hash(d, idx[:])
+	return crypto.HashInto(dst, d, idx[:])
 }
 
 // DigestOfSequence computes the digest of a whole sequence of client
@@ -185,7 +220,14 @@ func (v Version) CanonicalBytes() []byte {
 	for _, d := range v.M {
 		size += 4 + len(d)
 	}
-	buf := make([]byte, 0, size)
+	return v.AppendCanonical(make([]byte, 0, size))
+}
+
+// AppendCanonical appends the canonical encoding to buf and returns the
+// extended slice; with sufficient capacity the call is allocation-free.
+// Signature hot paths build COMMIT payloads into reusable scratch buffers
+// with it.
+func (v Version) AppendCanonical(buf []byte) []byte {
 	var tmp [8]byte
 	binary.BigEndian.PutUint32(tmp[:4], uint32(len(v.V)))
 	buf = append(buf, tmp[:4]...)

@@ -19,10 +19,36 @@ type ServerState struct {
 	P    [][]byte        // PROOF-signatures, n entries; nil = bottom
 }
 
+// stateSize computes the exact encoded size of st so EncodeServerState can
+// build the snapshot in a single allocation — snapshots of a busy server
+// are the largest payloads the system produces, and growing the buffer
+// doubling-by-doubling copies the whole state O(log n) times.
+func stateSize(st *ServerState) int {
+	size := 4 + 4 // n, c
+	for _, m := range st.Mem {
+		size += 8 + 4 + len(m.Value) + 4 + len(m.DataSig)
+	}
+	for _, sv := range st.Sver {
+		size += 4 + 4 + 8*len(sv.Ver.V) // committer, vector length, V
+		for _, d := range sv.Ver.M {
+			size += 4 + len(d)
+		}
+		size += 4 + len(sv.Sig)
+	}
+	size += 4 // len(L)
+	for _, inv := range st.L {
+		size += 4 + 1 + 4 + 4 + len(inv.SubmitSig)
+	}
+	for _, p := range st.P {
+		size += 4 + len(p)
+	}
+	return size
+}
+
 // EncodeServerState renders the state canonically:
 // n || c || MEM[0..n-1] || SVER[0..n-1] || len(L) || L || P[0..n-1].
 func EncodeServerState(st *ServerState) []byte {
-	buf := make([]byte, 0, 256)
+	buf := make([]byte, 0, stateSize(st))
 	buf = appendU32(buf, uint32(st.N))
 	buf = appendU32(buf, uint32(int32(st.C)))
 	for _, m := range st.Mem {

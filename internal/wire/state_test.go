@@ -53,13 +53,17 @@ func TestServerStateRoundTrip(t *testing.T) {
 func TestServerStateDecodeRejectsMalformed(t *testing.T) {
 	enc := EncodeServerState(sampleState())
 	cases := map[string][]byte{
-		"empty":      {},
-		"truncated":  enc[:len(enc)-1],
-		"trailing":   append(append([]byte(nil), enc...), 0),
-		"zero-n":     {0, 0, 0, 0},
-		"huge-n":     {0xff, 0xff, 0xff, 0xfe},
-		"bad-c":      func() []byte { b := append([]byte(nil), enc...); b[7] = 9; return b }(),
-		"negative-c": func() []byte { b := append([]byte(nil), enc...); b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff; return b }(),
+		"empty":     {},
+		"truncated": enc[:len(enc)-1],
+		"trailing":  append(append([]byte(nil), enc...), 0),
+		"zero-n":    {0, 0, 0, 0},
+		"huge-n":    {0xff, 0xff, 0xff, 0xfe},
+		"bad-c":     func() []byte { b := append([]byte(nil), enc...); b[7] = 9; return b }(),
+		"negative-c": func() []byte {
+			b := append([]byte(nil), enc...)
+			b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}(),
 	}
 	for name, data := range cases {
 		if _, err := DecodeServerState(data); err == nil {

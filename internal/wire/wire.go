@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"faust/internal/version"
 )
@@ -155,6 +156,36 @@ type Reply struct {
 	P      [][]byte      // PROOF-signatures, indexed by client; nil = bottom
 }
 
+// Clone returns a deep copy of the reply sharing no memory with the
+// original. The correct server hands out copy-on-write snapshots that
+// must never be written through; wrappers that deliberately mutate
+// replies (byzantine.ReplyTamperServer) clone first.
+func (rp *Reply) Clone() *Reply {
+	c := &Reply{
+		IsRead: rp.IsRead,
+		C:      rp.C,
+		CVer:   rp.CVer.Clone(),
+		JVer:   rp.JVer.Clone(),
+		Mem:    rp.Mem.Clone(),
+	}
+	if rp.L != nil {
+		c.L = make([]Invocation, len(rp.L))
+		for i, inv := range rp.L {
+			c.L[i] = inv
+			c.L[i].SubmitSig = append([]byte(nil), inv.SubmitSig...)
+		}
+	}
+	if rp.P != nil {
+		c.P = make([][]byte, len(rp.P))
+		for i, p := range rp.P {
+			if p != nil {
+				c.P[i] = append([]byte(nil), p...)
+			}
+		}
+	}
+	return c
+}
+
 // Commit is the COMMIT message of Algorithm 1 (lines 19 and 32).
 type Commit struct {
 	Ver       version.Version
@@ -208,11 +239,16 @@ var (
 // SubmitPayload is the payload of the SUBMIT-signature:
 // opcode || register || timestamp.
 func SubmitPayload(op OpCode, reg int, t int64) []byte {
-	buf := make([]byte, 1+4+8)
-	buf[0] = byte(op)
-	binary.BigEndian.PutUint32(buf[1:5], uint32(reg))
-	binary.BigEndian.PutUint64(buf[5:], uint64(t))
-	return buf
+	return AppendSubmitPayload(nil, op, reg, t)
+}
+
+// AppendSubmitPayload appends the SUBMIT-signature payload to buf and
+// returns the extended slice. The hot path reuses a scratch buffer instead
+// of allocating per signature.
+func AppendSubmitPayload(buf []byte, op OpCode, reg int, t int64) []byte {
+	buf = append(buf, byte(op))
+	buf = appendU32(buf, uint32(reg))
+	return appendI64(buf, t)
 }
 
 // DataPayload is the payload of the DATA-signature: timestamp || xbar,
@@ -220,8 +256,13 @@ func SubmitPayload(op OpCode, reg int, t int64) []byte {
 // nil (bottom) if it never wrote. Bottom and present hashes encode
 // distinctly.
 func DataPayload(t int64, xbar []byte) []byte {
-	buf := make([]byte, 8, 8+1+len(xbar))
-	binary.BigEndian.PutUint64(buf, uint64(t))
+	return AppendDataPayload(nil, t, xbar)
+}
+
+// AppendDataPayload appends the DATA-signature payload to buf and returns
+// the extended slice.
+func AppendDataPayload(buf []byte, t int64, xbar []byte) []byte {
+	buf = appendI64(buf, t)
 	if xbar == nil {
 		return append(buf, 0)
 	}
@@ -232,6 +273,12 @@ func DataPayload(t int64, xbar []byte) []byte {
 // CommitPayload is the payload of the COMMIT-signature: the canonical
 // encoding of the version.
 func CommitPayload(v version.Version) []byte { return v.CanonicalBytes() }
+
+// AppendCommitPayload appends the COMMIT-signature payload to buf and
+// returns the extended slice.
+func AppendCommitPayload(buf []byte, v version.Version) []byte {
+	return v.AppendCanonical(buf)
+}
 
 // ProofPayload is the payload of the PROOF-signature: the digest M[i].
 func ProofPayload(m []byte) []byte { return m }
@@ -473,9 +520,40 @@ func Encode(m Message) []byte {
 	return m.encodeBody(buf)
 }
 
+// AppendEncode appends the canonical encoding (kind tag + body) to buf and
+// returns the extended slice. Combined with GetBuffer/PutBuffer it makes
+// serialization allocation-free on the steady path; transports and the WAL
+// use it to frame messages directly into reusable buffers.
+func AppendEncode(buf []byte, m Message) []byte {
+	buf = append(buf, byte(m.MsgKind()))
+	return m.encodeBody(buf)
+}
+
+// bufPool recycles encoding scratch buffers. Stored as *[]byte so the
+// slice header itself does not allocate on Put.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuffer borrows a zero-length scratch buffer from the codec pool.
+// Return it with PutBuffer when the encoded bytes are no longer referenced.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a scratch buffer to the codec pool.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
 // EncodedSize returns the length in bytes of the canonical encoding. The
-// communication-overhead experiment uses it to measure per-message cost.
-func EncodedSize(m Message) int { return len(Encode(m)) }
+// communication-overhead experiment uses it to measure per-message cost;
+// it encodes into a pooled scratch buffer, so the measurement itself does
+// not allocate.
+func EncodedSize(m Message) int {
+	buf := GetBuffer()
+	*buf = AppendEncode((*buf)[:0], m) // keep any growth for the pool
+	n := len(*buf)
+	PutBuffer(buf)
+	return n
+}
 
 // Decode parses a message produced by Encode. Trailing garbage is
 // rejected.
