@@ -8,6 +8,7 @@ package faust
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"faust/internal/faustproto"
 	"faust/internal/lockstep"
 	"faust/internal/offline"
+	"faust/internal/shard"
 	"faust/internal/store"
 	"faust/internal/transport"
 	"faust/internal/trusted"
@@ -611,6 +613,70 @@ func BenchmarkThroughput(b *testing.B) {
 			wg.Wait()
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
+// BenchmarkShardThroughput measures aggregate multi-tenant write
+// throughput over TCP (E17): the same 8 client identities served as one
+// register group vs. split across 4 independent shards, each with its own
+// dispatcher goroutine and a quarter-size group. cmd/faust-bench -run
+// multishard prints the full table including the shared-dispatcher
+// ablation.
+func BenchmarkShardThroughput(b *testing.B) {
+	const totalClients = 8
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			per := totalClients / shards
+			ring, signers := crypto.NewTestKeyring(per, 1)
+			specs := make([]shard.Spec, shards)
+			for s := range specs {
+				specs[s] = shard.Spec{Name: fmt.Sprintf("tenant-%d", s), N: per}
+			}
+			router, err := shard.NewRouter(specs, shard.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := transport.ServeTCPSharded(ln, router)
+			b.Cleanup(srv.Stop)
+			clients := make([]*ustor.Client, 0, totalClients)
+			for s := range specs {
+				for i := 0; i < per; i++ {
+					link, err := transport.DialTCPShard(ln.Addr().String(), specs[s].Name, i)
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients = append(clients, ustor.NewClient(i, ring, signers[i], link))
+				}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c, cl := range clients {
+				ops := b.N / len(clients)
+				if c < b.N%len(clients) {
+					ops++
+				}
+				wg.Add(1)
+				go func(c int, cl *ustor.Client, ops int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						if err := cl.Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c, cl, ops)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			for _, cl := range clients {
+				_ = cl.Close()
+			}
 		})
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"faust/internal/faustproto"
 	"faust/internal/lockstep"
 	"faust/internal/offline"
+	"faust/internal/shard"
 	"faust/internal/sim"
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -115,6 +117,7 @@ func main() {
 		{"crypto", "E12: cryptographic cost per operation", expCrypto},
 		{"persist", "E15: durability cost — in-memory vs WAL-logged server (fsync off/on)", expPersist},
 		{"throughput", "E16: concurrent multi-client throughput, in-memory vs group-commit WAL", expThroughput},
+		{"multishard", "E17: multi-tenant shard scaling over TCP vs the single-dispatcher baseline", expMultiShard},
 	}
 
 	want := map[string]bool{}
@@ -715,6 +718,93 @@ func expThroughput() {
 		_ = os.RemoveAll(dir)
 
 		fmt.Printf("%-10d %-10s %16.0f %22.0f\n", tc.m, fmt.Sprintf("%.0f%%", tc.readFrac*100), mem, wal)
+	}
+}
+
+// expMultiShard is E17: the same total client population (16 identities)
+// served as one big register group vs. partitioned into independent
+// tenants, over a real TCP loopback server. More shards means smaller
+// groups (O(n) messages shrink) AND parallel dispatchers — the two levers
+// multi-tenant sharding pulls. The final row re-runs the 4-shard split
+// through one shared dispatcher (the pre-shard architecture's global
+// serialization) to isolate the dispatcher's contribution.
+func expMultiShard() {
+	const totalClients = 16
+	const opsPer = 120
+
+	run := func(label string, shards int, shared bool) float64 {
+		per := totalClients / shards
+		ring, signers := crypto.NewTestKeyring(per, 13)
+		specs := make([]shard.Spec, shards)
+		for s := range specs {
+			specs[s] = shard.Spec{Name: fmt.Sprintf("tenant-%d", s), N: per}
+		}
+		router, err := shard.NewRouter(specs, shard.Options{})
+		if err != nil {
+			fail(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		var opts []transport.TCPOption
+		if shared {
+			opts = append(opts, transport.WithSharedDispatcher())
+		}
+		srv := transport.ServeTCPSharded(ln, router, opts...)
+		defer srv.Stop()
+
+		clients := make([]*ustor.Client, 0, totalClients)
+		for s := range specs {
+			for i := 0; i < per; i++ {
+				link, err := transport.DialTCPShard(ln.Addr().String(), specs[s].Name, i)
+				if err != nil {
+					fail(err)
+				}
+				clients = append(clients, ustor.NewClient(i, ring, signers[i], link))
+			}
+		}
+		d := measured("multishard/"+label, shards, totalClients*opsPer, func() {
+			done := make(chan error, len(clients))
+			for c, cl := range clients {
+				go func(c int, cl *ustor.Client) {
+					for i := 0; i < opsPer; i++ {
+						if err := cl.Write([]byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}(c, cl)
+			}
+			for range clients {
+				if err := <-done; err != nil {
+					fail(err)
+				}
+			}
+		})
+		for _, cl := range clients {
+			_ = cl.Close()
+		}
+		return float64(totalClients*opsPer) / d.Seconds()
+	}
+
+	type row struct {
+		name string
+		ops  float64
+	}
+	rows := []row{
+		{"1 shard x 16 clients (single group)", run("shards=1", 1, false)},
+		{"2 shards x 8 clients", run("shards=2", 2, false)},
+		{"4 shards x 4 clients", run("shards=4", 4, false)},
+		{"4 shards, shared dispatcher (ablation)", run("shards=4-shared", 4, true)},
+	}
+	base := rows[0].ops
+	fmt.Printf("(%d total clients, %d writes each, TCP loopback, GOMAXPROCS=%d)\n",
+		totalClients, opsPer, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-42s %14s %12s\n", "configuration", "agg ops/sec", "vs 1 shard")
+	for _, r := range rows {
+		fmt.Printf("%-42s %14.0f %11.2fx\n", r.name, r.ops, r.ops/base)
 	}
 }
 

@@ -40,7 +40,8 @@ import (
 
 func main() {
 	server := flag.String("server", "localhost:7440", "faust-server address")
-	n := flag.Int("n", 3, "number of clients (must match the server)")
+	shardName := flag.String("shard", "", "shard name on a multi-tenant server; empty = legacy handshake to the default shard")
+	n := flag.Int("n", 3, "number of clients in this shard's group (must match the server)")
 	id := flag.Int("id", 0, "this client's identity (0..n-1)")
 	seed := flag.Int64("seed", 42, "deterministic demo key seed (must match peers)")
 	listen := flag.String("listen", "", "offline-channel listen address (enables FAUST)")
@@ -52,7 +53,15 @@ func main() {
 		log.Fatalf("faust-client: -id %d out of range [0,%d)", *id, *n)
 	}
 	ring, signers := crypto.NewTestKeyring(*n, *seed)
-	link, err := transport.DialTCP(*server, *id)
+	var link transport.Link
+	var err error
+	if *shardName != "" {
+		// v2 handshake: the server acks, so an unknown shard or bad id
+		// fails here instead of on the first operation.
+		link, err = transport.DialTCPShard(*server, *shardName, *id)
+	} else {
+		link, err = transport.DialTCP(*server, *id)
+	}
 	if err != nil {
 		log.Fatalf("faust-client: %v", err)
 	}
@@ -80,16 +89,23 @@ func main() {
 		)
 		fclient.Start()
 		defer fclient.Stop()
-		fmt.Printf("faust-client %d/%d: FAUST mode (offline channel on %s)\n", *id, *n, *listen)
+		fmt.Printf("faust-client %d/%d%s: FAUST mode (offline channel on %s)\n", *id, *n, shardSuffix(*shardName), *listen)
 	} else {
 		uclient = ustor.NewClient(*id, ring, signers[*id], link,
 			ustor.WithFailHandler(func(err error) {
 				fmt.Printf("\n[FAIL] server exposed: %v\n> ", err)
 			}))
-		fmt.Printf("faust-client %d/%d: USTOR mode (no offline channel)\n", *id, *n)
+		fmt.Printf("faust-client %d/%d%s: USTOR mode (no offline channel)\n", *id, *n, shardSuffix(*shardName))
 	}
 
 	repl(fclient, uclient)
+}
+
+func shardSuffix(shard string) string {
+	if shard == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (shard %q)", shard)
 }
 
 func parsePeers(s string) (map[int]string, error) {

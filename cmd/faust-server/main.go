@@ -1,4 +1,4 @@
-// Faust-server hosts the USTOR storage server over TCP.
+// Faust-server hosts one or more USTOR storage shards over TCP.
 //
 // The server is the UNTRUSTED party of the protocol: it holds no keys and
 // verifies nothing; all guarantees are enforced by the clients. Keys are
@@ -11,6 +11,38 @@
 //	faust-server -addr :7440 -n 3 -data-dir /var/lib/faust
 //	faust-client -server localhost:7440 -n 3 -id 0        # in another shell
 //
+// # Multi-tenant shards
+//
+// The server hosts many independent client groups ("shards") in one
+// process. Every shard is its own n-client register group with isolated
+// state; the v2 TCP handshake names the shard a connection belongs to,
+// while legacy clients (pre-shard hello) land on the shard named
+// "default", which -n and -data-dir configure exactly as before.
+//
+//	faust-server -addr :7440 -n 3 -data-dir /var/lib/faust \
+//	    -shards tenants.conf -shard-spec n=4,persist
+//
+// -shards names a manifest declaring shards, one per line:
+//
+//	# tenants.conf
+//	acme     n=4 persist
+//	initech  n=8
+//
+// -shard-spec is a template ("n=4,persist") for shards that connect
+// without being declared: they are created lazily on first handshake.
+// Without -shard-spec, unknown shard names are rejected. Declared shards
+// are also instantiated lazily — an idle tenant costs nothing.
+//
+// A manifest entry named "default" overrides the -n/-data-dir-derived
+// default shard; its data then lives under shards/default like any other
+// tenant instead of at the data-dir root.
+//
+// Persistent shards live in <data-dir>/shards/<name>/ (the default shard
+// keeps the historic layout at the -data-dir root, so existing data
+// directories recover unchanged). Each shard has its own WAL and
+// snapshots; -fsync, -group-commit, -flush-interval and -snapshot-every
+// apply to every persistent shard.
+//
 // # Persistence
 //
 // Without -data-dir the server state lives in memory and a restart rolls
@@ -20,8 +52,8 @@
 // it is applied, and a full state snapshot is rotated in every
 // -snapshot-every records.
 //
-// On-disk layout inside -data-dir (one generation of each at steady
-// state):
+// On-disk layout inside a shard's directory (one generation of each at
+// steady state):
 //
 //	snap-00000007       full server state (MEM, c, SVER, L, P), CRC-checked
 //	wal-00000007.log    records since that snapshot: u32 len | u32 CRC-32C | payload
@@ -61,52 +93,103 @@ import (
 	"syscall"
 	"time"
 
+	"faust/internal/shard"
 	"faust/internal/store"
 	"faust/internal/transport"
-	"faust/internal/ustor"
 )
 
 func main() {
 	addr := flag.String("addr", ":7440", "listen address")
-	n := flag.Int("n", 3, "number of clients (registers)")
+	n := flag.Int("n", 3, "number of clients (registers) of the default shard")
 	dataDir := flag.String("data-dir", "", "persistence directory; empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "rotate a state snapshot every N logged records (0 = never)")
 	fsync := flag.Bool("fsync", false, "sync the WAL before every reply (survives power loss, slower)")
 	groupCommit := flag.Bool("group-commit", true, "batch WAL records into one write+sync per reply instead of one per record")
 	flushInterval := flag.Duration("flush-interval", 2*time.Millisecond, "group-commit: max time a buffered record may wait for a background flush")
+	shardsFile := flag.String("shards", "", "shard manifest file: one '<name> n=<clients> [persist]' per line")
+	shardSpec := flag.String("shard-spec", "", "template for lazily created shards, e.g. 'n=4,persist'; empty = reject undeclared shards")
 	flag.Parse()
 
 	if *n <= 0 {
 		log.Fatalf("faust-server: -n must be positive, got %d", *n)
 	}
 
-	var core transport.ServerCore = ustor.NewServer(*n)
-	var ps *store.Persistent
-	if *dataDir != "" {
-		backend, err := store.OpenFile(*dataDir, store.FileOptions{
-			Fsync:         *fsync,
-			GroupCommit:   *groupCommit,
-			FlushInterval: *flushInterval,
-		})
+	var specs []shard.Spec
+	manifestHasDefault := false
+	if *shardsFile != "" {
+		f, err := os.Open(*shardsFile)
 		if err != nil {
 			log.Fatalf("faust-server: %v", err)
 		}
-		ps, err = store.Open(ustor.NewServer(*n), backend, store.Options{SnapshotEvery: *snapshotEvery})
+		manifest, err := shard.ParseManifest(f)
+		_ = f.Close()
 		if err != nil {
-			log.Fatalf("faust-server: recovering state: %v", err)
+			log.Fatalf("faust-server: %v", err)
 		}
-		fromSnap, replayed := ps.Recovered()
+		specs = manifest
+		for _, sp := range manifest {
+			if sp.Name == transport.DefaultShard {
+				manifestHasDefault = true
+			}
+		}
+	}
+	if !manifestHasDefault {
+		// The flag-derived default shard keeps the historic layout at the
+		// data-dir root. A manifest entry named "default" overrides -n and
+		// places its data under shards/default like any other shard.
+		specs = append(specs, shard.Spec{
+			Name:    transport.DefaultShard,
+			N:       *n,
+			Persist: *dataDir != "",
+			Dir:     *dataDir,
+		})
+	}
+	var def *shard.Spec
+	if *shardSpec != "" {
+		sp, err := shard.ParseSpec(*shardSpec)
+		if err != nil {
+			log.Fatalf("faust-server: %v", err)
+		}
+		def = &sp
+	}
+
+	router, err := shard.NewRouter(specs, shard.Options{
+		BaseDir: *dataDir,
+		FileOptions: store.FileOptions{
+			Fsync:         *fsync,
+			GroupCommit:   *groupCommit,
+			FlushInterval: *flushInterval,
+		},
+		StoreOptions: store.Options{SnapshotEvery: *snapshotEvery},
+		Default:      def,
+	})
+	if err != nil {
+		log.Fatalf("faust-server: %v", err)
+	}
+
+	// Instantiate the default shard eagerly so recovery cost is paid at
+	// boot and its outcome is visible; named shards stay lazy.
+	if _, err := router.ResolveShard(transport.DefaultShard); err != nil {
+		log.Fatalf("faust-server: opening default shard: %v", err)
+	}
+	defInfo, _ := router.Info(transport.DefaultShard)
+	if defInfo.Persistent {
 		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v, group-commit: %v)\n",
-			*dataDir, fromSnap, replayed, *fsync, *groupCommit)
-		core = ps
+			defInfo.Dir, defInfo.RecoveredSnapshot, defInfo.ReplayedRecords, *fsync, *groupCommit)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("faust-server: listen: %v", err)
 	}
-	srv := transport.ServeTCP(ln, core)
-	fmt.Printf("faust-server: serving %d registers on %s\n", *n, ln.Addr())
+	srv := transport.ServeTCPSharded(ln, router)
+	fmt.Printf("faust-server: serving %d registers on %s (default shard)\n", defInfo.N, ln.Addr())
+	if declared := router.DeclaredShards(); len(declared) > 1 {
+		fmt.Printf("faust-server: declared shards: %v\n", declared)
+	}
+	if def != nil {
+		fmt.Printf("faust-server: lazy shard creation enabled (n=%d, persist=%v)\n", def.N, def.Persist)
+	}
 	fmt.Println("faust-server: this process is the UNTRUSTED party; clients verify everything")
 
 	sig := make(chan os.Signal, 1)
@@ -114,13 +197,11 @@ func main() {
 	<-sig
 	fmt.Println("\nfaust-server: shutting down")
 	srv.Stop()
-	if ps != nil {
-		// Final snapshot so the next boot replays nothing; then release.
-		if err := ps.Snapshot(); err != nil {
-			log.Printf("faust-server: final snapshot: %v", err)
-		}
-		if err := ps.Close(); err != nil {
-			log.Printf("faust-server: closing store: %v", err)
-		}
+	for _, info := range router.OpenShards() {
+		fmt.Printf("faust-server: shard %q served (n=%d, persistent=%v)\n", info.Name, info.N, info.Persistent)
+	}
+	// Final snapshots so the next boot replays nothing; then release.
+	if err := router.Close(); err != nil {
+		log.Printf("faust-server: closing shards: %v", err)
 	}
 }

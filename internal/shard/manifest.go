@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Manifest format: one shard per line,
+//
+//	<name> n=<clients> [persist|persist=<bool>]
+//
+// Blank lines and '#' comments are ignored. Example:
+//
+//	# tenants
+//	acme     n=4 persist
+//	initech  n=8
+//
+// ParseManifest returns the declared specs in file order; directory layout
+// (Spec.Dir) is left to Options.BaseDir.
+func ParseManifest(r io.Reader) ([]Spec, error) {
+	var specs []Spec
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		sp := Spec{Name: fields[0]}
+		if !ValidName(sp.Name) {
+			return nil, fmt.Errorf("shard manifest line %d: invalid shard name %q", lineNo, sp.Name)
+		}
+		if err := applyKeys(&sp, fields[1:]); err != nil {
+			return nil, fmt.Errorf("shard manifest line %d: %w", lineNo, err)
+		}
+		if sp.N <= 0 {
+			return nil, fmt.Errorf("shard manifest line %d: shard %q needs n=<clients>", lineNo, sp.Name)
+		}
+		specs = append(specs, sp)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("shard manifest: %w", err)
+	}
+	return specs, nil
+}
+
+// ParseSpec parses a nameless spec template like "n=4,persist" or
+// "n=8,persist=false" — the -shard-spec flag's syntax for lazily created
+// shards.
+func ParseSpec(s string) (Spec, error) {
+	var sp Spec
+	if err := applyKeys(&sp, strings.Split(s, ",")); err != nil {
+		return Spec{}, fmt.Errorf("shard spec %q: %w", s, err)
+	}
+	if sp.N <= 0 {
+		return Spec{}, fmt.Errorf("shard spec %q: needs n=<clients>", s)
+	}
+	return sp, nil
+}
+
+// applyKeys parses "key=value" (or bare "persist") tokens into sp.
+func applyKeys(sp *Spec, tokens []string) error {
+	for _, tok := range tokens {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "n":
+			if !hasVal {
+				return fmt.Errorf("n needs a value")
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad n %q: %w", val, err)
+			}
+			sp.N = n
+		case "persist":
+			if !hasVal {
+				sp.Persist = true
+				break
+			}
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("bad persist %q: %w", val, err)
+			}
+			sp.Persist = b
+		default:
+			return fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faust/internal/store"
+	"faust/internal/transport"
+	"faust/internal/wire"
+)
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"default", "a", "tenant-1", "A.b_c-9", "0x"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", ".hidden", "-x", "a/b", "a b", "..", "a\x00b", strings.Repeat("x", 65)} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestRouterResolveDeclared(t *testing.T) {
+	r, err := NewRouter([]Spec{{Name: "a", N: 2}, {Name: "b", N: 3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreA, err := r.ResolveShard("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreA2, err := r.ResolveShard("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coreA != coreA2 {
+		t.Fatal("ResolveShard not idempotent")
+	}
+	coreB, err := r.ResolveShard("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coreA == coreB {
+		t.Fatal("distinct shards share a core")
+	}
+	if _, err := r.ResolveShard("nope"); err == nil {
+		t.Fatal("unknown shard resolved without a default template")
+	}
+	// Isolation: a submit to shard a must not appear in shard b.
+	coreA.HandleSubmit(0, &wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0}, Value: []byte("x")})
+	type pender interface{ PendingOps() int }
+	if got := coreA.(pender).PendingOps(); got != 1 {
+		t.Fatalf("shard a pending = %d, want 1", got)
+	}
+	if got := coreB.(pender).PendingOps(); got != 0 {
+		t.Fatalf("shard b pending = %d, want 0", got)
+	}
+}
+
+func TestRouterLazyDefault(t *testing.T) {
+	r, err := NewRouter(nil, Options{Default: &Spec{N: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := r.ResolveShard("on-demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := core.(interface{ N() int }).N(); n != 4 {
+		t.Fatalf("lazy shard n = %d, want 4", n)
+	}
+	if _, err := r.ResolveShard("bad/name"); err == nil {
+		t.Fatal("invalid lazy shard name accepted")
+	}
+	infos := r.OpenShards()
+	if len(infos) != 1 || infos[0].Name != "on-demand" || infos[0].Persistent {
+		t.Fatalf("OpenShards = %+v", infos)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter([]Spec{{Name: "a", N: 0}}, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := NewRouter([]Spec{{Name: "a", N: 1}, {Name: "a", N: 2}}, Options{}); err == nil {
+		t.Fatal("accepted duplicate names")
+	}
+	if _, err := NewRouter([]Spec{{Name: "../evil", N: 1}}, Options{}); err == nil {
+		t.Fatal("accepted path-traversal name")
+	}
+	if _, err := NewRouter([]Spec{{Name: "a", N: 1, Persist: true}}, Options{}); err == nil {
+		t.Fatal("accepted persistent shard without any directory")
+	}
+	if _, err := NewRouter(nil, Options{Default: &Spec{N: 2, Persist: true}}); err == nil {
+		t.Fatal("accepted persistent default template without base dir")
+	}
+}
+
+func TestRouterPersistencePerShardDirs(t *testing.T) {
+	base := t.TempDir()
+	open := func() *Router {
+		r, err := NewRouter([]Spec{
+			{Name: "alpha", N: 2, Persist: true},
+			{Name: "beta", N: 2, Persist: true},
+		}, Options{BaseDir: base, StoreOptions: store.Options{SnapshotEvery: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := open()
+	coreA, err := r.ResolveShard("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ResolveShard("beta"); err != nil {
+		t.Fatal(err)
+	}
+	sub := &wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0}, Value: []byte("persist-me")}
+	if reply := coreA.HandleSubmit(0, sub); reply == nil {
+		t.Fatal("persistent shard refused a submit")
+	}
+	preClose := coreA.(*store.Persistent).ExportState()
+	for _, name := range []string{"alpha", "beta"} {
+		dir := filepath.Join(base, "shards", name)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			t.Fatalf("shard dir %s missing: %v", dir, err)
+		}
+		info, ok := r.Info(name)
+		if !ok || !info.Persistent || info.Dir != dir {
+			t.Fatalf("Info(%s) = %+v, %v", name, info, ok)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ResolveShard("alpha"); err == nil {
+		t.Fatal("closed router resolved a shard")
+	}
+
+	// Reopen: alpha must recover its submit, beta must stay empty.
+	r2 := open()
+	defer r2.Close()
+	coreA2, err := r2.ResolveShard("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoA, _ := r2.Info("alpha")
+	if !infoA.RecoveredSnapshot {
+		t.Fatalf("alpha did not recover from snapshot: %+v", infoA)
+	}
+	if got := coreA2.(*store.Persistent).ExportState(); string(got) != string(preClose) {
+		t.Fatal("alpha state after recovery differs from pre-close state")
+	}
+	coreB2, err := r2.ResolveShard("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coreB2.(*store.Persistent).ExportState()) == string(preClose) {
+		t.Fatal("beta recovered alpha's state — shards share a backend")
+	}
+}
+
+func TestRouterCustomDirOverride(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRouter([]Spec{{Name: "legacy", N: 2, Persist: true, Dir: dir}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ResolveShard("legacy"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.Info("legacy")
+	if info.Dir != dir {
+		t.Fatalf("Dir = %q, want %q", info.Dir, dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no backend files in override dir: %v", err)
+	}
+}
+
+func TestRouterImplementsResolver(t *testing.T) {
+	var _ transport.ShardResolver = (*Router)(nil)
+	var _ transport.ShardPreflight = (*Router)(nil)
+}
+
+// TestPreflightShard: handshake validation must not instantiate shards —
+// otherwise rejected handshakes could grow state without bound.
+func TestPreflightShard(t *testing.T) {
+	r, err := NewRouter([]Spec{{Name: "a", N: 2}}, Options{Default: &Spec{N: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PreflightShard("a", 1); err != nil {
+		t.Fatalf("declared in-range: %v", err)
+	}
+	if err := r.PreflightShard("a", 2); err == nil {
+		t.Fatal("declared out-of-range id accepted")
+	}
+	if err := r.PreflightShard("lazy", 2); err != nil {
+		t.Fatalf("template in-range: %v", err)
+	}
+	if err := r.PreflightShard("lazy", 3); err == nil {
+		t.Fatal("template out-of-range id accepted")
+	}
+	if err := r.PreflightShard("bad/name", 0); err == nil {
+		t.Fatal("invalid lazy name accepted")
+	}
+	if got := r.OpenShards(); len(got) != 0 {
+		t.Fatalf("preflight instantiated shards: %+v", got)
+	}
+
+	strict, err := NewRouter([]Spec{{Name: "a", N: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.PreflightShard("unknown", 0); err == nil {
+		t.Fatal("unknown shard accepted without a template")
+	}
+}
+
+func TestParseManifest(t *testing.T) {
+	input := `
+# tenants
+acme     n=4 persist
+initech  n=8
+globex   n=2 persist=false
+`
+	specs, err := ParseManifest(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Spec{
+		{Name: "acme", N: 4, Persist: true},
+		{Name: "initech", N: 8},
+		{Name: "globex", N: 2},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{
+		"noN persist",
+		"bad/name n=2",
+		"x n=zero",
+		"x n=2 bogus=1",
+	} {
+		if _, err := ParseManifest(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseManifest(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("n=4,persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.N != 4 || !sp.Persist {
+		t.Fatalf("ParseSpec = %+v", sp)
+	}
+	sp, err = ParseSpec("n=2,persist=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.N != 2 || sp.Persist {
+		t.Fatalf("ParseSpec = %+v", sp)
+	}
+	for _, bad := range []string{"", "persist", "n=-1", "n=4,whatever=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -97,6 +97,16 @@ func (p *Persistent) Recovered() (fromSnapshot bool, replayed int) {
 	return p.recoveredSnapshot, p.recoveredRecords
 }
 
+// N reports the wrapped core's client-group size, or -1 when the core does
+// not expose one. The TCP transport uses it to reject handshake IDs
+// outside [0, N) before they can occupy connection-table entries.
+func (p *Persistent) N() int {
+	if sized, ok := p.core.(interface{ N() int }); ok {
+		return sized.N()
+	}
+	return -1
+}
+
 // HandleSubmit implements transport.ServerCore: log, apply, and flush the
 // group-commit batch before the reply escapes — one sync then covers this
 // SUBMIT plus every record buffered ahead of it. The flush runs outside

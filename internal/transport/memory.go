@@ -55,51 +55,9 @@ func WithDelay(max time.Duration, seed int64) Option {
 }
 
 // envelopeQueue is an unbounded FIFO of envelopes with blocking pop.
-type envelopeQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []envelope
-	closed bool
-}
+type envelopeQueue = fifo[envelope]
 
-func newEnvelopeQueue() *envelopeQueue {
-	q := &envelopeQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *envelopeQueue) push(e envelope) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return false
-	}
-	q.items = append(q.items, e)
-	q.cond.Signal()
-	return true
-}
-
-func (q *envelopeQueue) pop() (envelope, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return envelope{}, false
-	}
-	e := q.items[0]
-	q.items[0] = envelope{}
-	q.items = q.items[1:]
-	return e, true
-}
-
-func (q *envelopeQueue) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
-}
+func newEnvelopeQueue() *envelopeQueue { return newFIFO[envelope]() }
 
 // memoryLink is the client-side endpoint of an in-memory FIFO channel.
 type memoryLink struct {

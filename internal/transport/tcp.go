@@ -1,18 +1,32 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"faust/internal/wire"
 )
 
 // TCP framing: every message is a 4-byte big-endian length followed by the
-// canonical wire encoding. The first frame a client sends is a handshake
-// carrying only its 4-byte client ID.
+// canonical wire encoding. The first frame a client sends is a handshake.
+//
+// Two handshake versions coexist on one listener:
+//
+//	v1 (legacy): exactly 4 bytes carrying the client ID. The connection is
+//	    bound to the default shard and receives no acknowledgment — the
+//	    byte stream is identical to the pre-shard protocol, so old clients
+//	    interoperate unchanged.
+//	v2: a frame of magic (4 bytes) | client ID (u32) | shard name length
+//	    (u16) | shard name. The server answers with one ack frame — a
+//	    status byte (0 = accepted) followed by an error message when
+//	    rejected — so v2 dialers fail fast on unknown shards or
+//	    out-of-range IDs. v2 frames are always at least 10 bytes, so the
+//	    two versions cannot be confused.
 //
 // The transport deliberately uses no TLS: the protocol's guarantees come
 // from client-side signatures and are designed for an untrusted server —
@@ -21,13 +35,33 @@ import (
 
 const maxFrame = 1 << 24 // 16 MiB per message is far beyond protocol needs
 
+// DefaultShard is the shard name legacy (v1) handshakes bind to and the
+// name under which ServeTCP registers its single core.
+const DefaultShard = "default"
+
+// helloMagic prefixes every v2 handshake frame.
+var helloMagic = [4]byte{0xFA, 0x57, 'H', '2'}
+
+const (
+	legacyHelloLen  = 4
+	v2HelloMinLen   = 10 // magic + id + name length, before the name bytes
+	maxShardNameLen = 128
+)
+
+// defaultHandshakeTimeout bounds how long an accepted connection may take
+// to present its hello frame. Without a bound, a half-open connection
+// would pin a goroutine forever (and, before the pre-handshake tracking
+// existed, deadlock Stop).
+const defaultHandshakeTimeout = 10 * time.Second
+
+// writeFrame writes a length-prefixed frame as a single Write call so
+// concurrent writers guarded by a per-connection lock can never interleave
+// header and payload bytes on the stream.
 func writeFrame(conn net.Conn, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := conn.Write(buf)
 	return err
 }
 
@@ -47,57 +81,255 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	return payload, nil
 }
 
-// TCPServer hosts a ServerCore on a TCP listener. Message handling is
-// serialized through a single dispatcher, preserving the atomic event
-// handler semantics of Algorithm 2 across connections.
-type TCPServer struct {
-	core ServerCore
-	ln   net.Listener
-
-	mu    sync.Mutex
-	conns map[int]net.Conn
-	wg    sync.WaitGroup
-	inbox *envelopeQueue
-	done  chan struct{}
+// parseHello classifies and decodes a handshake frame.
+func parseHello(hello []byte) (shardName string, id int, v2 bool, err error) {
+	if len(hello) == legacyHelloLen {
+		return DefaultShard, int(binary.BigEndian.Uint32(hello)), false, nil
+	}
+	if len(hello) < v2HelloMinLen || !bytes.Equal(hello[:4], helloMagic[:]) {
+		return "", 0, false, fmt.Errorf("transport: malformed handshake frame (%d bytes)", len(hello))
+	}
+	id = int(binary.BigEndian.Uint32(hello[4:8]))
+	nameLen := int(binary.BigEndian.Uint16(hello[8:10]))
+	if nameLen == 0 || nameLen > maxShardNameLen || len(hello) != v2HelloMinLen+nameLen {
+		return "", 0, true, fmt.Errorf("transport: malformed v2 handshake (name length %d in %d-byte frame)", nameLen, len(hello))
+	}
+	return string(hello[v2HelloMinLen:]), id, true, nil
 }
 
-// ServeTCP starts serving core on ln. It returns immediately; use Stop to
-// shut down.
-func ServeTCP(ln net.Listener, core ServerCore) *TCPServer {
+// ShardResolver maps the shard name from a v2 handshake (or DefaultShard
+// for legacy hellos) to the server core that owns it. Implementations may
+// create shards lazily; returning an error rejects the handshake with the
+// error text as the v2 ack message. ResolveShard must return the same core
+// for the same name for the lifetime of the server.
+type ShardResolver interface {
+	ResolveShard(name string) (ServerCore, error)
+}
+
+// ShardPreflight is an optional ShardResolver extension that validates a
+// handshake WITHOUT instantiating the shard. When the resolver implements
+// it, the server consults it before ResolveShard, so a rejected handshake
+// (bad name, out-of-range id) costs nothing — in particular, a lazily
+// creating resolver is never asked to materialize a shard for a
+// connection that is about to be refused.
+type ShardPreflight interface {
+	PreflightShard(name string, id int) error
+}
+
+// staticShards is a fixed name->core resolver.
+type staticShards map[string]ServerCore
+
+func (m staticShards) ResolveShard(name string) (ServerCore, error) {
+	core, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown shard %q", name)
+	}
+	return core, nil
+}
+
+// StaticShards builds a ShardResolver over a fixed shard table. The map is
+// not copied; do not mutate it after the server starts.
+func StaticShards(shards map[string]ServerCore) ShardResolver { return staticShards(shards) }
+
+// TCPOption configures a TCPServer.
+type TCPOption func(*TCPServer)
+
+// WithHandshakeTimeout bounds how long an accepted connection may take to
+// complete its handshake (default 10s). Connections that exceed it are
+// closed; zero or negative disables the deadline (Stop still terminates
+// promptly because pre-handshake connections are tracked and closed).
+func WithHandshakeTimeout(d time.Duration) TCPOption {
+	return func(s *TCPServer) { s.handshakeTimeout = d }
+}
+
+// WithSharedDispatcher routes every shard through one global dispatcher
+// goroutine instead of one per shard, restoring the pre-shard serialization
+// across tenants. It exists as the ablation baseline for the multi-shard
+// scaling experiment (E17); production servers want the default.
+func WithSharedDispatcher() TCPOption {
+	return func(s *TCPServer) { s.shared = true }
+}
+
+// writeFramedMsg frames and writes one message as a single Write call
+// under the given write lock, encoding into a pooled buffer. Both
+// directions of the protocol (server pushes, client sends) share it.
+func writeFramedMsg(conn net.Conn, mu *sync.Mutex, m wire.Message) error {
+	buf := wire.GetBuffer()
+	b := append((*buf)[:0], 0, 0, 0, 0)
+	b = wire.AppendEncode(b, m)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	mu.Lock()
+	_, err := conn.Write(b)
+	mu.Unlock()
+	*buf = b // keep any growth for the pool
+	wire.PutBuffer(buf)
+	return err
+}
+
+// serverConn wraps an accepted connection with a write lock so REPLYs from
+// the dispatcher and pushes from core goroutines (lockstep timers, async
+// replies) cannot interleave frames on the stream.
+type serverConn struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+// writeMsg frames and writes one message atomically.
+func (c *serverConn) writeMsg(m wire.Message) error {
+	return writeFramedMsg(c.conn, &c.mu, m)
+}
+
+// tcpEnvelope tags an arriving message with its sender and shard.
+type tcpEnvelope struct {
+	rt   *shardRT
+	from int
+	msg  wire.Message
+}
+
+// The per-shard inboxes are fifo[tcpEnvelope] spelled out rather than
+// aliased: an alias here would sit on the recursive cycle
+// fifo[tcpEnvelope] -> tcpEnvelope -> shardRT -> inbox and current Go
+// toolchains reject that shape when written through an alias.
+
+// shardRT is the per-shard runtime inside a TCPServer: the resolved core,
+// its inbox (own queue per shard, or the server's shared one), and the
+// connection registry for push-backs.
+type shardRT struct {
+	name  string
+	core  ServerCore
+	inbox *fifo[tcpEnvelope]
+
+	mu    sync.Mutex
+	conns map[int]*serverConn
+}
+
+// push delivers a server-initiated message to client `to` of this shard.
+func (rt *shardRT) push(to int, m wire.Message) error {
+	rt.mu.Lock()
+	sc := rt.conns[to]
+	rt.mu.Unlock()
+	if sc == nil {
+		return fmt.Errorf("transport: client %d not connected to shard %q", to, rt.name)
+	}
+	return sc.writeMsg(m)
+}
+
+// TCPServer hosts one or more server cores on a TCP listener. Each shard's
+// messages are serialized through that shard's dispatcher goroutine,
+// preserving the atomic event handler semantics of Algorithm 2 within the
+// shard while distinct shards execute in parallel.
+type TCPServer struct {
+	resolver         ShardResolver
+	ln               net.Listener
+	handshakeTimeout time.Duration
+	shared           bool
+	sharedInbox      *fifo[tcpEnvelope] // non-nil iff shared
+
+	mu      sync.Mutex
+	stopped bool
+	pending map[net.Conn]struct{} // accepted, handshake not yet complete
+	shards  map[string]*shardRT   // successfully created runtimes
+	slots   map[string]*shardSlot // creation slots, including in-flight ones
+	wg      sync.WaitGroup
+}
+
+// shardSlot tracks one shard runtime's creation so concurrent handshakes
+// for the same name share a single ResolveShard call — which may do real
+// work (WAL recovery) — without holding the server mutex across it.
+type shardSlot struct {
+	ready chan struct{} // closed once rt/err are set
+	rt    *shardRT
+	err   error
+}
+
+// ServeTCP starts serving a single core on ln under the default shard name
+// — the legacy single-tenant deployment. It returns immediately; use Stop
+// to shut down. The core's pusher (GenericCore) is attached before ServeTCP
+// returns.
+func ServeTCP(ln net.Listener, core ServerCore, opts ...TCPOption) *TCPServer {
+	s := ServeTCPSharded(ln, StaticShards(map[string]ServerCore{DefaultShard: core}), opts...)
+	// Pre-resolve the default shard so AttachPusher runs before any
+	// traffic, matching the single-core server's historic behavior.
+	_, _ = s.shardFor(DefaultShard)
+	return s
+}
+
+// ServeTCPSharded starts serving every shard the resolver can produce.
+// Shard runtimes (dispatcher goroutine, connection registry, AttachPusher)
+// are created on the first handshake that names them. It returns
+// immediately; use Stop to shut down.
+func ServeTCPSharded(ln net.Listener, resolver ShardResolver, opts ...TCPOption) *TCPServer {
 	s := &TCPServer{
-		core:  core,
-		ln:    ln,
-		conns: make(map[int]net.Conn),
-		inbox: newEnvelopeQueue(),
-		done:  make(chan struct{}),
+		resolver:         resolver,
+		ln:               ln,
+		handshakeTimeout: defaultHandshakeTimeout,
+		pending:          make(map[net.Conn]struct{}),
+		shards:           make(map[string]*shardRT),
+		slots:            make(map[string]*shardSlot),
 	}
-	if gc, ok := core.(GenericCore); ok {
-		gc.AttachPusher(s.pushTo)
+	for _, o := range opts {
+		o(s)
 	}
-	s.wg.Add(2)
+	if s.shared {
+		s.sharedInbox = newFIFO[tcpEnvelope]()
+		s.wg.Add(1)
+		go s.dispatchQueue(s.sharedInbox)
+	}
+	s.wg.Add(1)
 	go s.acceptLoop()
-	go s.dispatch()
 	return s
 }
 
 // Addr returns the listener address.
 func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
 
-// Stop closes the listener and all connections and waits for goroutines.
-func (s *TCPServer) Stop() {
-	select {
-	case <-s.done:
-		return
-	default:
-	}
-	close(s.done)
-	_ = s.ln.Close()
+// ActiveConns returns the number of post-handshake connections currently
+// registered across all shards. Exposed for tests and operational
+// introspection; dead connections are unregistered as soon as their read
+// loop observes the failure.
+func (s *TCPServer) ActiveConns() int {
 	s.mu.Lock()
-	for _, c := range s.conns {
+	defer s.mu.Unlock()
+	total := 0
+	for _, rt := range s.shards {
+		rt.mu.Lock()
+		total += len(rt.conns)
+		rt.mu.Unlock()
+	}
+	return total
+}
+
+// Stop closes the listener and all connections — including ones still in
+// the handshake — and waits for every goroutine to exit.
+func (s *TCPServer) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	_ = s.ln.Close()
+	for c := range s.pending {
 		_ = c.Close()
 	}
+	rts := make([]*shardRT, 0, len(s.shards))
+	for _, rt := range s.shards {
+		rt.mu.Lock()
+		for _, sc := range rt.conns {
+			_ = sc.conn.Close()
+		}
+		rt.mu.Unlock()
+		rts = append(rts, rt)
+	}
 	s.mu.Unlock()
-	s.inbox.close()
+
+	if s.sharedInbox != nil {
+		s.sharedInbox.close()
+	} else {
+		for _, rt := range rts {
+			rt.inbox.close()
+		}
+	}
 	s.wg.Wait()
 }
 
@@ -108,74 +340,250 @@ func (s *TCPServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !s.trackPending(conn) {
+			_ = conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// trackPending registers a freshly accepted connection so Stop can close
+// it even before the handshake completes. Returns false when the server is
+// already stopped.
+func (s *TCPServer) trackPending(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return false
+	}
+	s.pending[conn] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) dropPending(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.pending, conn)
+	s.mu.Unlock()
+}
+
+// errStopped rejects work arriving after Stop.
+var errStopped = fmt.Errorf("transport: server stopped")
+
+// shardFor returns the runtime for a shard name, creating it — dispatcher
+// goroutine, connection registry, pusher attachment — on first use. The
+// resolver call runs outside the server mutex (lazy persistent shards
+// replay their WAL here), so handshakes, teardowns and Stop on other
+// shards are never blocked behind one shard's recovery; concurrent
+// handshakes for the same name share one creation via its slot.
+func (s *TCPServer) shardFor(name string) (*shardRT, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, errStopped
+	}
+	if slot, ok := s.slots[name]; ok {
+		s.mu.Unlock()
+		<-slot.ready
+		return slot.rt, slot.err
+	}
+	slot := &shardSlot{ready: make(chan struct{})}
+	s.slots[name] = slot
+	s.mu.Unlock()
+
+	rt, err := s.createShard(name)
+	if err != nil {
+		// Drop the slot so a later handshake may retry (the failure could
+		// be transient); waiters already parked on it still see the error.
+		s.mu.Lock()
+		delete(s.slots, name)
+		s.mu.Unlock()
+		slot.err = err
+		close(slot.ready)
+		return nil, err
+	}
+	slot.rt = rt
+	close(slot.ready)
+	return rt, nil
+}
+
+func (s *TCPServer) createShard(name string) (*shardRT, error) {
+	core, err := s.resolver.ResolveShard(name)
+	if err != nil {
+		return nil, err
+	}
+	rt := &shardRT{
+		name:  name,
+		core:  core,
+		inbox: s.sharedInbox,
+		conns: make(map[int]*serverConn),
+	}
+	ownInbox := rt.inbox == nil
+	if ownInbox {
+		rt.inbox = newFIFO[tcpEnvelope]()
+	}
+	if gc, ok := core.(GenericCore); ok {
+		gc.AttachPusher(rt.push)
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, errStopped
+	}
+	s.shards[name] = rt
+	if ownInbox {
+		s.wg.Add(1)
+		go s.dispatchQueue(rt.inbox)
+	}
+	s.mu.Unlock()
+	return rt, nil
+}
+
+// checkID validates the handshake client ID against the core's group size
+// when the core exposes one (an `N() int` method returning a non-negative
+// count). Without the check any 32-bit ID would insert a connection map
+// entry — a trivial memory-exhaustion vector.
+func checkID(name string, core ServerCore, id int) error {
+	if id < 0 {
+		return fmt.Errorf("transport: negative client id %d", id)
+	}
+	if sized, ok := core.(interface{ N() int }); ok {
+		if n := sized.N(); n >= 0 && id >= n {
+			return fmt.Errorf("transport: client id %d out of range for shard %q (n=%d)", id, name, n)
+		}
+	}
+	return nil
+}
+
+// writeAck sends the v2 handshake acknowledgment: status 0, or status 1
+// plus the rejection reason.
+func writeAck(conn net.Conn, rejection error) error {
+	if rejection == nil {
+		return writeFrame(conn, []byte{0})
+	}
+	msg := rejection.Error()
+	buf := make([]byte, 1+len(msg))
+	buf[0] = 1
+	copy(buf[1:], msg)
+	return writeFrame(conn, buf)
+}
+
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	if s.handshakeTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout))
+	}
 	hello, err := readFrame(conn)
-	if err != nil || len(hello) != 4 {
+	if err != nil {
+		s.dropPending(conn)
 		_ = conn.Close()
 		return
 	}
-	id := int(binary.BigEndian.Uint32(hello))
-	s.mu.Lock()
-	if old, dup := s.conns[id]; dup {
-		_ = old.Close()
+	_ = conn.SetReadDeadline(time.Time{})
+	name, id, v2, err := parseHello(hello)
+	if err != nil {
+		s.dropPending(conn)
+		_ = conn.Close()
+		return
 	}
-	s.conns[id] = conn
-	s.mu.Unlock()
+	var rt *shardRT
+	// Preflight first, when the resolver supports it: a rejected handshake
+	// must not be able to force shard instantiation.
+	if pf, ok := s.resolver.(ShardPreflight); ok {
+		err = pf.PreflightShard(name, id)
+	}
+	if err == nil {
+		if rt, err = s.shardFor(name); err == nil {
+			err = checkID(name, rt.core, id)
+		}
+	}
+	if v2 {
+		if ackErr := writeAck(conn, err); ackErr != nil && err == nil {
+			err = ackErr
+		}
+	}
+	if err != nil {
+		s.dropPending(conn)
+		_ = conn.Close()
+		return
+	}
+
+	sc := &serverConn{conn: conn}
+	if !s.register(rt, id, sc) {
+		_ = conn.Close()
+		return
+	}
+	defer func() {
+		// Unregister only if this connection is still the current one for
+		// the ID — a newer handshake may have replaced (and closed) it.
+		rt.mu.Lock()
+		if rt.conns[id] == sc {
+			delete(rt.conns, id)
+		}
+		rt.mu.Unlock()
+		_ = conn.Close()
+	}()
 
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
-			_ = conn.Close()
 			return
 		}
 		msg, err := wire.Decode(payload)
 		if err != nil {
-			_ = conn.Close()
 			return
 		}
-		if !s.inbox.push(envelope{from: id, msg: msg}) {
+		if !rt.inbox.push(tcpEnvelope{rt: rt, from: id, msg: msg}) {
 			return
 		}
 	}
 }
 
-func (s *TCPServer) dispatch() {
+// register atomically moves a connection from the pending set into its
+// shard's registry, closing any previous connection with the same ID. It
+// holds s.mu across both steps so Stop can never observe a connection in
+// neither set. Returns false when the server stopped meanwhile.
+func (s *TCPServer) register(rt *shardRT, id int, sc *serverConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, sc.conn)
+	if s.stopped {
+		return false
+	}
+	rt.mu.Lock()
+	if old, dup := rt.conns[id]; dup {
+		_ = old.conn.Close()
+	}
+	rt.conns[id] = sc
+	rt.mu.Unlock()
+	return true
+}
+
+// dispatchQueue is a shard's event loop (or the global one under
+// WithSharedDispatcher): it pops arriving messages one at a time and runs
+// the owning core's handler atomically.
+func (s *TCPServer) dispatchQueue(q *fifo[tcpEnvelope]) {
 	defer s.wg.Done()
 	for {
-		e, ok := s.inbox.pop()
+		e, ok := q.pop()
 		if !ok {
 			return
 		}
 		switch m := e.msg.(type) {
 		case *wire.Submit:
-			reply := s.core.HandleSubmit(e.from, m)
+			reply := e.rt.core.HandleSubmit(e.from, m)
 			if reply != nil {
-				_ = s.pushTo(e.from, reply)
+				_ = e.rt.push(e.from, reply)
 			}
 		case *wire.Commit:
-			s.core.HandleCommit(e.from, m)
+			e.rt.core.HandleCommit(e.from, m)
 		default:
-			if gc, ok := s.core.(GenericCore); ok {
+			if gc, ok := e.rt.core.(GenericCore); ok {
 				gc.HandleMessage(e.from, e.msg)
 			}
 		}
 	}
-}
-
-func (s *TCPServer) pushTo(to int, m wire.Message) error {
-	s.mu.Lock()
-	conn, found := s.conns[to]
-	s.mu.Unlock()
-	if !found {
-		return fmt.Errorf("transport: client %d not connected", to)
-	}
-	return writeFrame(conn, wire.Encode(m))
 }
 
 // tcpLink is the client-side Link over one TCP connection.
@@ -187,14 +595,16 @@ type tcpLink struct {
 
 var _ Link = (*tcpLink)(nil)
 
-// DialTCP connects client id to a TCPServer at addr and performs the
-// handshake.
+// DialTCP connects client id to a TCPServer at addr with the legacy (v1)
+// handshake, binding the connection to the server's default shard. The
+// server sends no acknowledgment; a rejected ID (out of the shard's range)
+// surfaces as an error on the first Recv.
 func DialTCP(addr string, id int) (Link, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
 	}
-	var hello [4]byte
+	var hello [legacyHelloLen]byte
 	binary.BigEndian.PutUint32(hello[:], uint32(id))
 	if err := writeFrame(conn, hello[:]); err != nil {
 		_ = conn.Close()
@@ -203,11 +613,50 @@ func DialTCP(addr string, id int) (Link, error) {
 	return &tcpLink{conn: conn}, nil
 }
 
-// Send implements Link.
+// DialTCPShard connects client id to the named shard of a TCPServer at
+// addr with the v2 handshake and waits for the server's acknowledgment, so
+// unknown shards and out-of-range IDs fail here rather than on the first
+// operation. An empty shard name dials the default shard.
+func DialTCPShard(addr, shard string, id int) (Link, error) {
+	if shard == "" {
+		shard = DefaultShard
+	}
+	if len(shard) > maxShardNameLen {
+		return nil, fmt.Errorf("transport: shard name %d bytes long, limit %d", len(shard), maxShardNameLen)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	hello := make([]byte, 0, v2HelloMinLen+len(shard))
+	hello = append(hello, helloMagic[:]...)
+	hello = binary.BigEndian.AppendUint32(hello, uint32(id))
+	hello = binary.BigEndian.AppendUint16(hello, uint16(len(shard)))
+	hello = append(hello, shard...)
+	if err := writeFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	ack, err := readFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: handshake ack: %w", err)
+	}
+	if len(ack) < 1 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: empty handshake ack")
+	}
+	if ack[0] != 0 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: server rejected handshake: %s", ack[1:])
+	}
+	return &tcpLink{conn: conn}, nil
+}
+
+// Send implements Link. The frame is built in a pooled buffer and written
+// with a single Write call under the link's write lock.
 func (l *tcpLink) Send(m wire.Message) error {
-	l.wmu.Lock()
-	defer l.wmu.Unlock()
-	if err := writeFrame(l.conn, wire.Encode(m)); err != nil {
+	if err := writeFramedMsg(l.conn, &l.wmu, m); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	return nil

@@ -114,6 +114,58 @@ type envelope struct {
 	msg  wire.Message
 }
 
+// fifo is an unbounded FIFO with blocking pop, shared by the in-memory
+// network's envelope inbox and the TCP server's per-shard inboxes. push
+// returns false once the queue is closed; pop blocks until an item is
+// available or the queue closes (items queued before close are still
+// delivered — reliable channel).
+type fifo[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newFIFO[T any]() *fifo[T] {
+	q := &fifo[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fifo[T]) push(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	return true
+}
+
+func (q *fifo[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *fifo[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
 // Stats aggregates message counts and encoded sizes per direction. It is
 // populated only when the network is created with metrics enabled.
 type Stats struct {

@@ -166,7 +166,16 @@ func (c *Client) Close() error { return c.getLink().Close() }
 // line 36 check then verifies that the server really recovered every
 // operation the client committed — a rolled-back server is detected as
 // faulty on the next operation. The caller is responsible for closing the
-// old link; do not Rebind while an operation is in flight.
+// old link.
+//
+// CAVEAT: Rebind requires that no operation is in flight. It swaps the
+// link pointer but does not interrupt an operation already blocked in
+// Recv on the old link — that operation keeps waiting on the dead link
+// (or fails with its transport error) and its REPLY is never re-requested
+// on the new one. Sequence a reconnect as: let the failing operation
+// return its error, Close the old link, Rebind, then retry the operation.
+// Calling Rebind concurrently with Write/Read is a programming error, not
+// a recoverable race.
 func (c *Client) Rebind(link transport.Link) {
 	c.linkMu.Lock()
 	defer c.linkMu.Unlock()
