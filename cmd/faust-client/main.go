@@ -1,15 +1,30 @@
 // Faust-client is an interactive client for a faust-server. It keeps the
 // USTOR protocol state for one client identity and runs a small REPL:
 //
-//	write <text>   write to the own register
-//	read <j>       read register j
-//	cut            print the stability cut (requires -listen/-peers)
-//	status         print failure state
+//	write <text>      write to the own register
+//	read <j>          read register j
+//	put <key> <text>  store a key-value pair in the own KV namespace
+//	get <key>         read a key of the own namespace
+//	del <key>         delete a key of the own namespace
+//	ls [j]            list the own (or client j's) KV namespace
+//	getfrom <j> <key> authenticated read of client j's namespace
+//	cut               print the stability cut (requires -listen/-peers)
+//	status            print failure state
 //	quit
 //
 // Without -listen/-peers it runs the bare USTOR protocol (storage with
 // failure detection, no stability). With them it runs the full FAUST
 // stack, exchanging PROBE/VERSION/FAILURE messages with peers over TCP.
+// The KV commands drive the authenticated key-value layer (package kv):
+// values are chunked over the bulk blob channel and every read verifies
+// content hashes against the owner's Merkle root. They are available in
+// USTOR mode (the kv layer needs the extended register API).
+//
+// The client dials with the v2 handshake (naming the shard, "default"
+// when -shard is empty), so a server-side rejection — unknown shard,
+// out-of-range id — is reported with the server's reason and a non-zero
+// exit instead of a bare connection error on the first operation.
+// -legacy forces the pre-shard 4-byte hello for old servers.
 //
 // Keys are derived from -seed (demo-grade; all parties must use the same
 // seed and -n).
@@ -23,6 +38,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +49,7 @@ import (
 
 	"faust/internal/crypto"
 	"faust/internal/faustproto"
+	"faust/internal/kv"
 	"faust/internal/offline"
 	"faust/internal/transport"
 	"faust/internal/ustor"
@@ -40,7 +57,8 @@ import (
 
 func main() {
 	server := flag.String("server", "localhost:7440", "faust-server address")
-	shardName := flag.String("shard", "", "shard name on a multi-tenant server; empty = legacy handshake to the default shard")
+	shardName := flag.String("shard", "", "shard name on a multi-tenant server; empty = the default shard")
+	legacy := flag.Bool("legacy", false, "use the pre-shard 4-byte hello (no server ack; for old servers)")
 	n := flag.Int("n", 3, "number of clients in this shard's group (must match the server)")
 	id := flag.Int("id", 0, "this client's identity (0..n-1)")
 	seed := flag.Int64("seed", 42, "deterministic demo key seed (must match peers)")
@@ -52,15 +70,20 @@ func main() {
 	if *id < 0 || *id >= *n {
 		log.Fatalf("faust-client: -id %d out of range [0,%d)", *id, *n)
 	}
+	if *legacy && *shardName != "" {
+		log.Fatalf("faust-client: -legacy cannot name a -shard (the v1 hello always lands on %q)", transport.DefaultShard)
+	}
 	ring, signers := crypto.NewTestKeyring(*n, *seed)
 	var link transport.Link
 	var err error
-	if *shardName != "" {
-		// v2 handshake: the server acks, so an unknown shard or bad id
-		// fails here instead of on the first operation.
-		link, err = transport.DialTCPShard(*server, *shardName, *id)
-	} else {
+	if *legacy {
 		link, err = transport.DialTCP(*server, *id)
+	} else {
+		// v2 handshake: the server acks, so an unknown shard or a
+		// preflight-rejected id fails right here with the server's
+		// reason (and a non-zero exit) instead of surfacing as a bare
+		// connection error on the first operation.
+		link, err = transport.DialTCPShard(*server, *shardName, *id)
 	}
 	if err != nil {
 		log.Fatalf("faust-client: %v", err)
@@ -98,7 +121,12 @@ func main() {
 		fmt.Printf("faust-client %d/%d%s: USTOR mode (no offline channel)\n", *id, *n, shardSuffix(*shardName))
 	}
 
-	repl(fclient, uclient)
+	repl(&session{
+		fc:     fclient,
+		uc:     uclient,
+		server: *server,
+		shard:  *shardName,
+	})
 }
 
 func shardSuffix(shard string) string {
@@ -127,7 +155,38 @@ func parsePeers(s string) (map[int]string, error) {
 	return peers, nil
 }
 
-func repl(fc *faustproto.Client, uc *ustor.Client) {
+// session bundles the protocol clients with the lazily opened KV store.
+type session struct {
+	fc     *faustproto.Client
+	uc     *ustor.Client
+	server string
+	shard  string
+	store  *kv.Store
+}
+
+// kvStore opens the KV layer on first use: a blob channel to the shard
+// plus a kv.Store over the USTOR client.
+func (s *session) kvStore() (*kv.Store, error) {
+	if s.store != nil {
+		return s.store, nil
+	}
+	if s.uc == nil {
+		return nil, errors.New("kv commands need USTOR mode (run without -listen/-peers)")
+	}
+	ch, err := transport.DialTCPBlob(s.server, s.shard)
+	if err != nil {
+		return nil, fmt.Errorf("opening blob channel: %w", err)
+	}
+	st, err := kv.Open(s.uc, ch)
+	if err != nil {
+		_ = ch.Close()
+		return nil, err
+	}
+	s.store = st
+	return st, nil
+}
+
+func repl(s *session) {
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for scanner.Scan() {
@@ -143,11 +202,11 @@ func repl(fc *faustproto.Client, uc *ustor.Client) {
 				break
 			}
 			text := strings.Join(fields[1:], " ")
-			if fc != nil {
-				ts, err := fc.Write([]byte(text))
+			if s.fc != nil {
+				ts, err := s.fc.Write([]byte(text))
 				report(err, func() { fmt.Printf("ok, timestamp %d\n", ts) })
 			} else {
-				res, err := uc.WriteX([]byte(text))
+				res, err := s.uc.WriteX([]byte(text))
 				report(err, func() { fmt.Printf("ok, timestamp %d\n", res.Timestamp) })
 			}
 		case "read":
@@ -160,26 +219,102 @@ func repl(fc *faustproto.Client, uc *ustor.Client) {
 				fmt.Printf("bad register: %v\n", err)
 				break
 			}
-			if fc != nil {
-				v, ts, err := fc.Read(j)
+			if s.fc != nil {
+				v, ts, err := s.fc.Read(j)
 				report(err, func() { fmt.Printf("%q (timestamp %d)\n", v, ts) })
 			} else {
-				v, err := uc.Read(j)
+				v, err := s.uc.Read(j)
 				report(err, func() { fmt.Printf("%q\n", v) })
 			}
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <text>")
+				break
+			}
+			withKV(s, func(st *kv.Store) error {
+				if err := st.Put(fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+					return err
+				}
+				fmt.Printf("ok, %d keys, root %x...\n", st.Len(), st.Root()[:8])
+				return nil
+			})
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			withKV(s, func(st *kv.Store) error {
+				v, err := st.Get(fields[1])
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%q\n", v)
+				return nil
+			})
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			withKV(s, func(st *kv.Store) error {
+				if err := st.Delete(fields[1]); err != nil {
+					return err
+				}
+				fmt.Println("ok")
+				return nil
+			})
+		case "ls":
+			if len(fields) > 2 {
+				fmt.Println("usage: ls [client]")
+				break
+			}
+			withKV(s, func(st *kv.Store) error {
+				keys := st.Keys()
+				if len(fields) == 2 {
+					j, err := strconv.Atoi(fields[1])
+					if err != nil {
+						return fmt.Errorf("bad client index: %w", err)
+					}
+					if keys, err = st.ListFrom(j); err != nil {
+						return err
+					}
+				}
+				for _, k := range keys {
+					fmt.Println(k)
+				}
+				fmt.Printf("(%d keys)\n", len(keys))
+				return nil
+			})
+		case "getfrom":
+			if len(fields) != 3 {
+				fmt.Println("usage: getfrom <client> <key>")
+				break
+			}
+			withKV(s, func(st *kv.Store) error {
+				j, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return fmt.Errorf("bad client index: %w", err)
+				}
+				v, err := st.GetFrom(j, fields[2])
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%q\n", v)
+				return nil
+			})
 		case "cut":
-			if fc == nil {
+			if s.fc == nil {
 				fmt.Println("stability cuts need FAUST mode (-listen/-peers)")
 				break
 			}
-			fmt.Printf("cut=%v\n", fc.StableCut())
+			fmt.Printf("cut=%v\n", s.fc.StableCut())
 		case "status":
 			var failed bool
 			var reason error
-			if fc != nil {
-				failed, reason = fc.Failed()
+			if s.fc != nil {
+				failed, reason = s.fc.Failed()
 			} else {
-				failed, reason = uc.Failed()
+				failed, reason = s.uc.Failed()
 			}
 			if failed {
 				fmt.Printf("FAILED: %v\n", reason)
@@ -189,9 +324,21 @@ func repl(fc *faustproto.Client, uc *ustor.Client) {
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: write <text> | read <j> | cut | status | quit")
+			fmt.Println("commands: write <text> | read <j> | put <k> <text> | get <k> | del <k> | ls [j] | getfrom <j> <k> | cut | status | quit")
 		}
 		fmt.Print("> ")
+	}
+}
+
+// withKV runs a KV command against the lazily opened store.
+func withKV(s *session, f func(*kv.Store) error) {
+	st, err := s.kvStore()
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if err := f(st); err != nil {
+		fmt.Printf("error: %v\n", err)
 	}
 }
 

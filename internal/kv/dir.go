@@ -1,0 +1,360 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"faust/internal/crypto"
+)
+
+// The directory is the per-client key→value index of the KV layer: a
+// strictly key-sorted list of entries, each naming the value's size and
+// the ordered content hashes of its chunks. The directory serializes
+// with the wire package's append-codec idiom (fixed-width big-endian
+// integers, length-prefixed byte strings, sticky-error reader) into a
+// single blob; its deterministic Merkle root — together with the blob's
+// content hash — is what the owner commits through its fail-aware
+// register, so every Get anywhere inherits the protocol's guarantees.
+//
+// Canonical form is enforced on decode (strictly increasing keys, exact
+// chunk-hash sizes, chunk count matching the value size): two byte
+// strings decode to the same directory only if they are identical, so a
+// server cannot present two encodings of "the same" directory with
+// different hashes.
+
+// entry is one key → value record. Chunks holds the content hashes of
+// the value's chunks in order; a zero-length value has no chunks.
+type entry struct {
+	Key    string
+	Size   int64
+	Chunks [][]byte
+}
+
+// digest returns the entry's leaf digest for the Merkle tree:
+// H(0x00 || len(key) || key || size || nchunks || chunk hashes). The
+// leading domain byte separates leaves from interior nodes.
+func (e *entry) digest() []byte {
+	var tmp [8]byte
+	buf := make([]byte, 0, 1+4+len(e.Key)+8+4+len(e.Chunks)*crypto.HashSize)
+	buf = append(buf, 0x00)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(e.Key)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, e.Key...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(e.Size))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(e.Chunks)))
+	buf = append(buf, tmp[:4]...)
+	for _, h := range e.Chunks {
+		buf = append(buf, h...)
+	}
+	return crypto.Hash(buf)
+}
+
+// directory is the sorted entry list. The zero value is the empty
+// directory (the state of a register that was never written).
+type directory struct {
+	entries []entry
+}
+
+// find returns the index of key and whether it is present; absent keys
+// return the insertion index.
+func (d *directory) find(key string) (int, bool) {
+	i := sort.Search(len(d.entries), func(i int) bool { return d.entries[i].Key >= key })
+	return i, i < len(d.entries) && d.entries[i].Key == key
+}
+
+// put inserts or replaces the entry for e.Key, keeping the sort order.
+func (d *directory) put(e entry) {
+	i, ok := d.find(e.Key)
+	if ok {
+		d.entries[i] = e
+		return
+	}
+	d.entries = append(d.entries, entry{})
+	copy(d.entries[i+1:], d.entries[i:])
+	d.entries[i] = e
+}
+
+// remove deletes the entry for key, reporting whether it existed.
+func (d *directory) remove(key string) bool {
+	i, ok := d.find(key)
+	if !ok {
+		return false
+	}
+	d.entries = append(d.entries[:i], d.entries[i+1:]...)
+	return true
+}
+
+// keys returns the sorted key list.
+func (d *directory) keys() []string {
+	out := make([]string, len(d.entries))
+	for i := range d.entries {
+		out[i] = d.entries[i].Key
+	}
+	return out
+}
+
+// totalBytes sums the value sizes.
+func (d *directory) totalBytes() int64 {
+	var total int64
+	for i := range d.entries {
+		total += d.entries[i].Size
+	}
+	return total
+}
+
+// merkleRoot computes the deterministic Merkle root over the entry leaf
+// digests in key order: interior nodes are H(0x01 || left || right), an
+// odd node is promoted unchanged, and the empty directory has a fixed
+// domain-separated root.
+func (d *directory) merkleRoot() []byte {
+	if len(d.entries) == 0 {
+		return crypto.Hash([]byte("faust-kv-empty-directory"))
+	}
+	level := make([][]byte, len(d.entries))
+	for i := range d.entries {
+		level[i] = d.entries[i].digest()
+	}
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			next = append(next, crypto.Hash([]byte{0x01}, level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Codec. Same conventions as package wire: big-endian fixed-width
+// integers, u32 length prefixes. Limits keep a malicious blob from
+// forcing huge allocations before validation fails.
+
+const (
+	dirMagic  = "FKVD1"
+	rootMagic = "FKVR1"
+
+	// MaxKeyLen bounds a key's length in bytes.
+	MaxKeyLen = 1 << 10
+	// maxDirEntries bounds the decoded directory size.
+	maxDirEntries = 1 << 20
+	// maxChunksPerValue bounds a single value's chunk list.
+	maxChunksPerValue = 1 << 16
+)
+
+var errCodec = errors.New("kv: malformed encoding")
+
+// EncodedEntrySize returns the encoded size in bytes of one directory
+// entry for a key of the given length and chunk count. Together with
+// the capacity note on Put it lets applications plan namespace sizes
+// against ErrNamespaceFull (the whole directory must stay within
+// transport.MaxBlobSize).
+func EncodedEntrySize(keyLen, nchunks int) int {
+	return 4 + keyLen + 8 + 4 + nchunks*crypto.HashSize
+}
+
+// encodedEntrySize is the internal form taking the key itself.
+func encodedEntrySize(key string, nchunks int) int {
+	return EncodedEntrySize(len(key), nchunks)
+}
+
+// encodedDirSize returns the exact size encodeDirectory would produce,
+// without building it. Put uses it for the capacity check before any
+// upload starts.
+func encodedDirSize(d *directory) int {
+	size := len(dirMagic) + 4
+	for i := range d.entries {
+		size += encodedEntrySize(d.entries[i].Key, len(d.entries[i].Chunks))
+	}
+	return size
+}
+
+// encodeDirectory renders the canonical directory blob.
+func encodeDirectory(d *directory) []byte {
+	buf := make([]byte, 0, encodedDirSize(d))
+	var tmp [8]byte
+	buf = append(buf, dirMagic...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(d.entries)))
+	buf = append(buf, tmp[:4]...)
+	for i := range d.entries {
+		e := &d.entries[i]
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(e.Key)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, e.Key...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(e.Size))
+		buf = append(buf, tmp[:]...)
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(e.Chunks)))
+		buf = append(buf, tmp[:4]...)
+		for _, h := range e.Chunks {
+			buf = append(buf, h...)
+		}
+	}
+	return buf
+}
+
+// reader decodes with sticky error handling, mirroring wire.reader.
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errCodec
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.data) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil || len(r.data) < 8 {
+		r.fail()
+		return 0
+	}
+	v := int64(binary.BigEndian.Uint64(r.data))
+	r.data = r.data[8:]
+	return v
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.data) < n {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.data[:n])
+	r.data = r.data[n:]
+	return out
+}
+
+// decodeDirectory parses and validates a directory blob: canonical order
+// (strictly increasing keys), hash-sized chunk digests, and chunk counts
+// consistent with the declared value sizes.
+func decodeDirectory(data []byte) (*directory, error) {
+	if len(data) < len(dirMagic) || string(data[:len(dirMagic)]) != dirMagic {
+		return nil, fmt.Errorf("%w: bad directory magic", errCodec)
+	}
+	r := &reader{data: data[len(dirMagic):]}
+	n := r.u32()
+	if r.err != nil || n > maxDirEntries {
+		return nil, fmt.Errorf("%w: directory entry count", errCodec)
+	}
+	d := &directory{entries: make([]entry, 0, n)}
+	prev := ""
+	for i := uint32(0); i < n; i++ {
+		klen := r.u32()
+		if r.err != nil || klen == 0 || klen > MaxKeyLen {
+			return nil, fmt.Errorf("%w: key length", errCodec)
+		}
+		key := string(r.take(int(klen)))
+		size := r.i64()
+		nchunks := r.u32()
+		if r.err != nil || size < 0 || nchunks > maxChunksPerValue {
+			return nil, fmt.Errorf("%w: entry shape", errCodec)
+		}
+		if i > 0 && key <= prev {
+			return nil, fmt.Errorf("%w: directory keys not strictly sorted", errCodec)
+		}
+		prev = key
+		if (size == 0) != (nchunks == 0) {
+			return nil, fmt.Errorf("%w: chunk count %d inconsistent with size %d", errCodec, nchunks, size)
+		}
+		chunks := make([][]byte, nchunks)
+		for j := range chunks {
+			chunks[j] = r.take(crypto.HashSize)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		d.entries = append(d.entries, entry{Key: key, Size: size, Chunks: chunks})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCodec, len(r.data))
+	}
+	return d, nil
+}
+
+// rootRecord is the value the owner writes into its fail-aware register:
+// everything a reader needs to authenticate the directory blob. Root is
+// the directory's Merkle root, DirHash the content hash of its encoded
+// blob, Gen a monotone mutation counter, and the counts are convenience
+// metadata (validated against the fetched directory).
+type rootRecord struct {
+	Gen        uint64
+	NumEntries uint32
+	TotalBytes int64
+	DirHash    []byte
+	Root       []byte
+}
+
+// encodeRoot renders the register value.
+func encodeRoot(rr *rootRecord) []byte {
+	buf := make([]byte, 0, len(rootMagic)+8+4+8+2*crypto.HashSize)
+	var tmp [8]byte
+	buf = append(buf, rootMagic...)
+	binary.BigEndian.PutUint64(tmp[:], rr.Gen)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:4], rr.NumEntries)
+	buf = append(buf, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(rr.TotalBytes))
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, rr.DirHash...)
+	buf = append(buf, rr.Root...)
+	return buf
+}
+
+// decodeRoot parses a register value as a KV root record.
+func decodeRoot(data []byte) (*rootRecord, error) {
+	want := len(rootMagic) + 8 + 4 + 8 + 2*crypto.HashSize
+	if len(data) != want || string(data[:len(rootMagic)]) != rootMagic {
+		return nil, fmt.Errorf("%w: register does not hold a KV root record", errCodec)
+	}
+	r := &reader{data: data[len(rootMagic):]}
+	rr := &rootRecord{}
+	rr.Gen = uint64(r.i64())
+	rr.NumEntries = r.u32()
+	rr.TotalBytes = r.i64()
+	rr.DirHash = r.take(crypto.HashSize)
+	rr.Root = r.take(crypto.HashSize)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rr, nil
+}
+
+// verifyDirectory checks a fetched directory blob against its root
+// record: content hash, Merkle root, and the metadata counts. It returns
+// the parsed directory on success.
+func verifyDirectory(rr *rootRecord, blob []byte) (*directory, error) {
+	if !bytes.Equal(crypto.Hash(blob), rr.DirHash) {
+		return nil, errors.New("kv: directory blob digest mismatch (tampered directory)")
+	}
+	d, err := decodeDirectory(blob)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(d.merkleRoot(), rr.Root) {
+		return nil, errors.New("kv: directory Merkle root mismatch (forged directory)")
+	}
+	if uint32(len(d.entries)) != rr.NumEntries || d.totalBytes() != rr.TotalBytes {
+		return nil, errors.New("kv: directory metadata mismatch")
+	}
+	return d, nil
+}

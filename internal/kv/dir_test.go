@@ -1,0 +1,186 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"faust/internal/crypto"
+)
+
+func testDir(t *testing.T, keys ...string) *directory {
+	t.Helper()
+	d := &directory{}
+	for _, k := range keys {
+		d.put(entry{Key: k, Size: 5, Chunks: [][]byte{crypto.Hash([]byte(k))}})
+	}
+	return d
+}
+
+func TestDirectorySortedOps(t *testing.T) {
+	d := testDir(t, "mango", "apple", "zebra", "kiwi")
+	want := []string{"apple", "kiwi", "mango", "zebra"}
+	got := d.keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+	// Replacement keeps one entry per key.
+	d.put(entry{Key: "kiwi", Size: 9, Chunks: [][]byte{crypto.Hash([]byte("new"))}})
+	if len(d.entries) != 4 {
+		t.Fatalf("replace grew the directory to %d entries", len(d.entries))
+	}
+	if i, ok := d.find("kiwi"); !ok || d.entries[i].Size != 9 {
+		t.Fatal("replacement not applied")
+	}
+	if !d.remove("apple") || d.remove("apple") {
+		t.Fatal("remove semantics broken")
+	}
+}
+
+func TestDirectoryCodecRoundTrip(t *testing.T) {
+	for _, d := range []*directory{
+		{}, // empty
+		testDir(t, "a"),
+		testDir(t, "a", "b", "c", "d", "e"),
+	} {
+		blob := encodeDirectory(d)
+		got, err := decodeDirectory(blob)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(encodeDirectory(got), blob) {
+			t.Fatal("directory did not round-trip canonically")
+		}
+		if !bytes.Equal(got.merkleRoot(), d.merkleRoot()) {
+			t.Fatal("merkle root changed across the codec")
+		}
+	}
+}
+
+// TestDirectoryCanonicalForm: unsorted or malformed encodings are
+// rejected, so a server cannot present two encodings of one directory.
+func TestDirectoryCanonicalForm(t *testing.T) {
+	unsorted := &directory{entries: []entry{
+		{Key: "b", Size: 1, Chunks: [][]byte{crypto.Hash([]byte("1"))}},
+		{Key: "a", Size: 1, Chunks: [][]byte{crypto.Hash([]byte("2"))}},
+	}}
+	if _, err := decodeDirectory(encodeDirectory(unsorted)); err == nil {
+		t.Fatal("unsorted directory accepted")
+	}
+	dup := &directory{entries: []entry{
+		{Key: "a", Size: 1, Chunks: [][]byte{crypto.Hash([]byte("1"))}},
+		{Key: "a", Size: 1, Chunks: [][]byte{crypto.Hash([]byte("2"))}},
+	}}
+	if _, err := decodeDirectory(encodeDirectory(dup)); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	// Size/chunk inconsistency.
+	bad := &directory{entries: []entry{{Key: "a", Size: 7}}}
+	if _, err := decodeDirectory(encodeDirectory(bad)); err == nil {
+		t.Fatal("sized entry without chunks accepted")
+	}
+	// Truncations die cleanly.
+	blob := encodeDirectory(testDir(t, "x", "y"))
+	for l := 0; l < len(blob); l++ {
+		if _, err := decodeDirectory(blob[:l]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", l)
+		}
+	}
+}
+
+// TestMerkleRootSensitivity: the root moves under every kind of
+// modification and is insensitive to none.
+func TestMerkleRootSensitivity(t *testing.T) {
+	base := testDir(t, "a", "b", "c")
+	root := base.merkleRoot()
+
+	mutations := map[string]func(*directory){
+		"added key":     func(d *directory) { d.put(entry{Key: "d", Size: 1, Chunks: [][]byte{crypto.Hash([]byte("d"))}}) },
+		"removed key":   func(d *directory) { d.remove("b") },
+		"changed size":  func(d *directory) { d.entries[0].Size = 99 },
+		"changed chunk": func(d *directory) { d.entries[1].Chunks[0] = crypto.Hash([]byte("evil")) },
+	}
+	for name, mutate := range mutations {
+		d := testDir(t, "a", "b", "c")
+		mutate(d)
+		if bytes.Equal(d.merkleRoot(), root) {
+			t.Fatalf("merkle root did not move under %s", name)
+		}
+	}
+
+	// Deterministic: same content, same root, regardless of insert order.
+	d2 := testDir(t, "c", "a", "b")
+	if !bytes.Equal(d2.merkleRoot(), root) {
+		t.Fatal("merkle root depends on insertion order")
+	}
+	// Empty root is fixed and distinct.
+	empty := &directory{}
+	if bytes.Equal(empty.merkleRoot(), root) || empty.merkleRoot() == nil {
+		t.Fatal("empty-directory root broken")
+	}
+}
+
+func TestRootRecordRoundTrip(t *testing.T) {
+	rr := &rootRecord{
+		Gen:        42,
+		NumEntries: 3,
+		TotalBytes: 12345,
+		DirHash:    crypto.Hash([]byte("dir")),
+		Root:       crypto.Hash([]byte("root")),
+	}
+	enc := encodeRoot(rr)
+	got, err := decodeRoot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != rr.Gen || got.NumEntries != rr.NumEntries || got.TotalBytes != rr.TotalBytes ||
+		!bytes.Equal(got.DirHash, rr.DirHash) || !bytes.Equal(got.Root, rr.Root) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rr)
+	}
+	if _, err := decodeRoot(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated root record accepted")
+	}
+	if _, err := decodeRoot([]byte("not a root record")); err == nil {
+		t.Fatal("garbage accepted as root record")
+	}
+}
+
+// TestVerifyDirectory covers the three verification failures a lying
+// server can cause: wrong bytes (content hash), forged Merkle root, and
+// inconsistent metadata.
+func TestVerifyDirectory(t *testing.T) {
+	d := testDir(t, "a", "b")
+	blob := encodeDirectory(d)
+	rr := &rootRecord{
+		Gen:        1,
+		NumEntries: 2,
+		TotalBytes: d.totalBytes(),
+		DirHash:    crypto.Hash(blob),
+		Root:       d.merkleRoot(),
+	}
+	if _, err := verifyDirectory(rr, blob); err != nil {
+		t.Fatalf("valid directory rejected: %v", err)
+	}
+	// Tampered blob bytes.
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := verifyDirectory(rr, tampered); err == nil {
+		t.Fatal("tampered blob accepted")
+	}
+	// Forged Merkle root in the record.
+	forged := *rr
+	forged.Root = crypto.Hash([]byte("wrong"))
+	if _, err := verifyDirectory(&forged, blob); err == nil {
+		t.Fatal("forged merkle root accepted")
+	}
+	// Metadata mismatch.
+	miscounted := *rr
+	miscounted.NumEntries = 5
+	if _, err := verifyDirectory(&miscounted, blob); err == nil {
+		t.Fatal("miscounted metadata accepted")
+	}
+}

@@ -1,0 +1,585 @@
+// Package kv is the authenticated key-value layer over FAUST registers:
+// the application-facing data model the ROADMAP calls for.
+//
+// Each client owns one fail-aware register (package ustor). Instead of a
+// single opaque value, the register holds a small ROOT RECORD — the
+// Merkle root and content hash of the client's key→value DIRECTORY plus
+// some counts — while the directory itself and all value chunks travel
+// over the transport's bulk blob channel as content-addressed blobs.
+// Because the root record rides on WriteX/ReadX, every Get/Put/Delete
+// inherits the protocol's guarantees end to end:
+//
+//   - integrity: a tampered chunk or directory blob fails its content
+//     hash or Merkle check and the operation errors out;
+//   - fail-awareness: a forking or rolling-back server trips the usual
+//     Algorithm 1 checks during the register read/write, the client
+//     outputs fail and halts — through the KV API;
+//   - single-writer semantics: only the register owner can change its
+//     namespace (the root record is covered by the owner's signatures).
+//
+// Values larger than the chunk size are split into content-addressed
+// chunks, deduplicated against previously uploaded ones. A validating
+// client cache (content-hash-checked on every use) serves repeated reads
+// without bulk transfers, and CachedGetFrom serves them with no server
+// round trip at all as long as the client's observed version of the
+// owner's register is unchanged.
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+	"faust/internal/version"
+)
+
+// DefaultChunkSize is the default split size for values. Values up to
+// one chunk cost exactly one blob round trip.
+const DefaultChunkSize = 64 << 10
+
+// ErrNotFound is returned when a key is absent from the namespace.
+var ErrNotFound = errors.New("kv: key not found")
+
+// ErrNamespaceFull is returned by Put when the updated directory would
+// exceed the blob channel's transfer limit (see Put's capacity note).
+var ErrNamespaceFull = errors.New("kv: namespace too large (encoded directory exceeds the blob size limit)")
+
+// Register is the slice of the ustor client the KV layer drives:
+// extended reads and writes on fail-aware registers plus version
+// introspection. *ustor.Client implements it.
+type Register interface {
+	ID() int
+	N() int
+	WriteX(x []byte) (ustor.OpResult, error)
+	ReadX(j int) (ustor.ReadResult, error)
+	Version() version.Version
+	// ObservedTimestamp returns V[j] of the client's current version
+	// without copying it; the value cache consults it on every hit.
+	ObservedTimestamp(j int) int64
+}
+
+var _ Register = (*ustor.Client)(nil)
+
+// Stats counts the store's traffic split by path. Round trips through
+// the register (server dispatcher) and through the bulk blob channel are
+// tracked separately; cache hits explain their absence.
+type Stats struct {
+	RegisterReads  int64 // ReadX round trips
+	RegisterWrites int64 // WriteX round trips
+	BlobPuts       int64 // chunk + directory uploads
+	BlobGets       int64 // chunk + directory downloads
+	ChunkCacheHits int64 // chunk fetches served from the validating cache
+	DirCacheHits   int64 // directory fetches avoided (unchanged root)
+	ValueCacheHits int64 // CachedGetFrom served entirely locally
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithChunkSize sets the value split size (default DefaultChunkSize).
+func WithChunkSize(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.chunkSize = n
+		}
+	}
+}
+
+// WithChunkCacheBudget bounds the bytes the validating chunk cache may
+// hold (default 64 MiB). Zero disables chunk caching.
+func WithChunkCacheBudget(n int) Option {
+	return func(s *Store) { s.chunkBudget = n }
+}
+
+// WithValueCacheBudget bounds the bytes CachedGetFrom's assembled-value
+// cache may hold (default 64 MiB), independent of the chunk cache's
+// budget. Zero disables value caching (CachedGetFrom then always falls
+// through to GetFrom).
+func WithValueCacheBudget(n int) Option {
+	return func(s *Store) { s.valBudget = n }
+}
+
+// cachedValue is one fully assembled remote value in the value cache.
+type cachedValue struct {
+	value  []byte
+	digest []byte // content hash of value, re-checked on every hit
+	ownerT int64  // owner register timestamp the value was read at
+}
+
+// remoteDir caches another client's verified directory together with
+// the facts it was verified against, so a cache hit can re-check a new
+// root record's Merkle root and metadata without re-hashing anything.
+type remoteDir struct {
+	dirHash    []byte
+	root       []byte // the directory's Merkle root, computed at verify time
+	numEntries uint32
+	totalBytes int64
+	dir        *directory
+}
+
+// Store is one client's view of the KV namespace: read-write for its own
+// keys, read-only (Get*From) for every other client's. Safe for
+// concurrent use; operations serialize like the underlying register
+// client's.
+type Store struct {
+	reg         Register
+	blobs       transport.BlobChannel
+	chunkSize   int
+	chunkBudget int
+	valBudget   int
+
+	mu         sync.Mutex
+	dir        directory // own namespace, authoritative (single writer)
+	gen        uint64    // own mutation counter, persisted in the root record
+	chunkCache map[string][]byte
+	chunkBytes int
+	dirCache   map[int]*remoteDir
+	valCache   map[int]map[string]*cachedValue
+	valBytes   int
+	stats      Stats
+}
+
+// Open creates the store and bootstraps the own namespace from the
+// register: a never-written register (nil value — see ustor.Client.Read)
+// starts the empty directory; an existing root record is fetched and
+// verified so a client resuming within a process continues its
+// namespace.
+func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, error) {
+	s := &Store{
+		reg:         reg,
+		blobs:       blobs,
+		chunkSize:   DefaultChunkSize,
+		chunkBudget: 64 << 20,
+		valBudget:   64 << 20,
+		chunkCache:  make(map[string][]byte),
+		dirCache:    make(map[int]*remoteDir),
+		valCache:    make(map[int]map[string]*cachedValue),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	res, err := reg.ReadX(reg.ID())
+	if err != nil {
+		return nil, fmt.Errorf("kv: bootstrapping from own register: %w", err)
+	}
+	s.stats.RegisterReads++
+	if res.Value != nil {
+		rr, err := decodeRoot(res.Value)
+		if err != nil {
+			return nil, fmt.Errorf("kv: own register: %w", err)
+		}
+		d, err := s.fetchDirectory(rr)
+		if err != nil {
+			return nil, fmt.Errorf("kv: recovering own directory: %w", err)
+		}
+		s.dir = *d
+		s.gen = rr.Gen
+	}
+	return s, nil
+}
+
+// ID returns the owning client's index.
+func (s *Store) ID() int { return s.reg.ID() }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Root returns the current Merkle root of the own directory.
+func (s *Store) Root() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.merkleRoot()
+}
+
+// Len returns the number of keys in the own namespace.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir.entries)
+}
+
+// Keys returns the own namespace's keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dir.keys()
+}
+
+// Put stores value under key in the own namespace: chunks are uploaded
+// (deduplicated against the cache), the updated directory is uploaded,
+// and the new root record is committed through the fail-aware register.
+// The value may be empty; nil is stored as empty.
+//
+// Capacity: the whole directory travels as one blob, so a namespace is
+// bounded by transport.MaxBlobSize worth of encoded entries (roughly
+// 50+keylen bytes per single-chunk entry, plus 32 per extra chunk —
+// on the order of 10^5 keys). A Put that would push the directory over
+// the limit fails with ErrNamespaceFull and leaves the namespace
+// unchanged.
+func (s *Store) Put(key string, value []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Capacity checks BEFORE any chunk leaves the client: the chunk
+	// count must stay decodable (an oversized entry would commit a root
+	// record every reader — and the owner's own next bootstrap —
+	// rejects as malformed), and the updated directory must still fit
+	// the blob channel. Both are computable up front, so a doomed Put
+	// uploads nothing.
+	nchunks := (len(value) + s.chunkSize - 1) / s.chunkSize
+	if nchunks > maxChunksPerValue {
+		return fmt.Errorf("kv: value of %d bytes needs %d chunks, limit %d (raise the chunk size)",
+			len(value), nchunks, maxChunksPerValue)
+	}
+	projected := encodedDirSize(&s.dir) + encodedEntrySize(key, nchunks)
+	if i, ok := s.dir.find(key); ok {
+		projected -= encodedEntrySize(key, len(s.dir.entries[i].Chunks))
+	}
+	if projected > transport.MaxBlobSize {
+		return ErrNamespaceFull
+	}
+
+	e := entry{Key: key, Size: int64(len(value))}
+	for off := 0; off < len(value); off += s.chunkSize {
+		end := off + s.chunkSize
+		if end > len(value) {
+			end = len(value)
+		}
+		chunk := value[off:end]
+		h := crypto.Hash(chunk)
+		if _, ok := s.chunkCache[string(h)]; !ok {
+			if err := s.blobs.PutBlob(h, chunk); err != nil {
+				return fmt.Errorf("kv: uploading chunk: %w", err)
+			}
+			s.stats.BlobPuts++
+			s.cacheChunk(h, chunk)
+		}
+		e.Chunks = append(e.Chunks, h)
+	}
+
+	prevEntries := append([]entry(nil), s.dir.entries...)
+	s.dir.put(e)
+	if err := s.commitDirLocked(); err != nil {
+		s.dir.entries = prevEntries
+		return err
+	}
+	return nil
+}
+
+// Delete removes key from the own namespace. Deleting an absent key
+// returns ErrNotFound. Chunks are not garbage-collected from the blob
+// store (content addressing makes them harmless; other entries may share
+// them).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dir.find(key); !ok {
+		return ErrNotFound
+	}
+	prevEntries := append([]entry(nil), s.dir.entries...)
+	s.dir.remove(key)
+	if err := s.commitDirLocked(); err != nil {
+		s.dir.entries = prevEntries
+		return err
+	}
+	return nil
+}
+
+// commitDirLocked uploads the current directory blob and writes the new
+// root record through the register. Caller holds s.mu; on error the
+// caller restores the previous entries.
+func (s *Store) commitDirLocked() error {
+	blob := encodeDirectory(&s.dir)
+	if len(blob) > transport.MaxBlobSize {
+		return ErrNamespaceFull
+	}
+	dirHash := crypto.Hash(blob)
+	if err := s.blobs.PutBlob(dirHash, blob); err != nil {
+		return fmt.Errorf("kv: uploading directory: %w", err)
+	}
+	s.stats.BlobPuts++
+	rr := &rootRecord{
+		Gen:        s.gen + 1,
+		NumEntries: uint32(len(s.dir.entries)),
+		TotalBytes: s.dir.totalBytes(),
+		DirHash:    dirHash,
+		Root:       s.dir.merkleRoot(),
+	}
+	if _, err := s.reg.WriteX(encodeRoot(rr)); err != nil {
+		return fmt.Errorf("kv: committing root record: %w", err)
+	}
+	s.stats.RegisterWrites++
+	s.gen = rr.Gen
+	return nil
+}
+
+// Get reads a key of the own namespace. The own directory is
+// authoritative (single-writer), so Get costs no register round trip;
+// chunks not in the validating cache are fetched over the blob channel
+// and hash-checked.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.dir.find(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.assembleLocked(&s.dir.entries[i])
+}
+
+// GetFrom reads a key of client j's namespace with full authentication:
+// one ReadX of j's register (fail-aware, fork-detecting), directory and
+// chunk fetches as needed — all verified against the root record. For
+// the own namespace it is equivalent to Get.
+func (s *Store) GetFrom(j int, key string) ([]byte, error) {
+	if j == s.reg.ID() {
+		return s.Get(key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ownerT, err := s.readDirLocked(j)
+	if err != nil {
+		return nil, err
+	}
+	i, ok := d.find(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	value, err := s.assembleLocked(&d.entries[i])
+	if err != nil {
+		return nil, err
+	}
+	s.rememberValueLocked(j, key, value, ownerT)
+	return value, nil
+}
+
+// ListFrom returns the sorted keys of client j's namespace, reading and
+// verifying j's current directory.
+func (s *Store) ListFrom(j int) ([]string, error) {
+	if j == s.reg.ID() {
+		return s.Keys(), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, _, err := s.readDirLocked(j)
+	if err != nil {
+		return nil, err
+	}
+	return d.keys(), nil
+}
+
+// CachedGetFrom is GetFrom with register-version-based caching: when the
+// client's observed version of j's register is unchanged since the value
+// was last read, the cached value is digest-checked and returned with NO
+// server round trip. The client's knowledge of j advances whenever any
+// of its operations observes a newer version of j (Algorithm 1's L
+// walk), at which point the stale entry is invalidated and the next call
+// falls through to a fresh GetFrom.
+//
+// The freshness contract is therefore weaker than GetFrom's: the value
+// is as fresh as the client's last contact with the server, never
+// fresher. Use GetFrom when read-your-peers'-writes matters.
+func (s *Store) CachedGetFrom(j int, key string) ([]byte, error) {
+	if j == s.reg.ID() {
+		return s.Get(key)
+	}
+	s.mu.Lock()
+	if byKey := s.valCache[j]; byKey != nil {
+		if cv, ok := byKey[key]; ok {
+			if cv.ownerT == s.reg.ObservedTimestamp(j) && bytes.Equal(crypto.Hash(cv.value), cv.digest) {
+				s.stats.ValueCacheHits++
+				out := append([]byte(nil), cv.value...)
+				s.mu.Unlock()
+				return out, nil
+			}
+			delete(byKey, key) // version moved or digest check failed
+			s.valBytes -= len(cv.value)
+		}
+	}
+	s.mu.Unlock()
+	return s.GetFrom(j, key)
+}
+
+// rememberValueLocked stores a remote value in the value cache, tagged
+// with ownerT — the owner's register timestamp observed by the ReadX
+// that produced the value (NOT re-sampled here: a concurrent direct
+// operation on the shared register client could have advanced the
+// observed version meanwhile, and tagging a stale value with the newer
+// timestamp would defeat invalidation). The cache has its own byte
+// budget (WithValueCacheBudget): arbitrary entries are evicted to stay
+// under it, and values that alone exceed it are simply not cached.
+func (s *Store) rememberValueLocked(j int, key string, value []byte, ownerT int64) {
+	if s.valBudget <= 0 || len(value) > s.valBudget {
+		return
+	}
+	for s.valBytes+len(value) > s.valBudget && s.valBytes > 0 {
+		for owner, byKey := range s.valCache {
+			for k, cv := range byKey {
+				delete(byKey, k)
+				s.valBytes -= len(cv.value)
+				break
+			}
+			if len(byKey) == 0 {
+				delete(s.valCache, owner)
+			}
+			break
+		}
+	}
+	byKey := s.valCache[j]
+	if byKey == nil {
+		byKey = make(map[string]*cachedValue)
+		s.valCache[j] = byKey
+	}
+	if old, ok := byKey[key]; ok {
+		s.valBytes -= len(old.value)
+	}
+	byKey[key] = &cachedValue{
+		value:  append([]byte(nil), value...),
+		digest: crypto.Hash(value),
+		ownerT: ownerT,
+	}
+	s.valBytes += len(value)
+}
+
+// readDirLocked performs the authenticated register read of client j and
+// returns j's verified directory plus the owner timestamp this read
+// observed (MEM[j].T, which Algorithm 1 line 51 pins to V[j] at the
+// moment of the read), reusing the cached directory when the root
+// record still names the same blob.
+func (s *Store) readDirLocked(j int) (*directory, int64, error) {
+	res, err := s.reg.ReadX(j)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: reading register %d: %w", j, err)
+	}
+	s.stats.RegisterReads++
+	// WriterTimestamp is the owner timestamp of THIS read (line 51 pins
+	// it to V[j] during the operation). Sampling ObservedTimestamp here
+	// instead would race with concurrent operations on the shared
+	// register client and could tag the value newer than it is.
+	ownerT := res.WriterTimestamp
+	if res.Value == nil {
+		// Never-written register: the empty namespace (see the empty-read
+		// semantics documented on ustor.Client.Read).
+		return &directory{}, ownerT, nil
+	}
+	rr, err := decodeRoot(res.Value)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: register %d: %w", j, err)
+	}
+	if rd := s.dirCache[j]; rd != nil && bytes.Equal(rd.dirHash, rr.DirHash) {
+		// A hit still validates the REST of the root record against the
+		// facts recorded at verify time: a record naming a known-good
+		// directory blob but a forged Merkle root (or wrong counts)
+		// must be rejected identically with warm and cold caches.
+		if !bytes.Equal(rd.root, rr.Root) {
+			return nil, 0, errors.New("kv: directory Merkle root mismatch (forged directory)")
+		}
+		if rd.numEntries != rr.NumEntries || rd.totalBytes != rr.TotalBytes {
+			return nil, 0, errors.New("kv: directory metadata mismatch")
+		}
+		s.stats.DirCacheHits++
+		return rd.dir, ownerT, nil
+	}
+	d, err := s.fetchDirectory(rr)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.dirCache[j] = &remoteDir{
+		dirHash:    rr.DirHash,
+		root:       rr.Root,
+		numEntries: rr.NumEntries,
+		totalBytes: rr.TotalBytes,
+		dir:        d,
+	}
+	return d, ownerT, nil
+}
+
+// fetchDirectory downloads and fully verifies the directory blob a root
+// record names.
+func (s *Store) fetchDirectory(rr *rootRecord) (*directory, error) {
+	blob, err := s.blobs.GetBlob(rr.DirHash)
+	if err != nil {
+		return nil, fmt.Errorf("kv: fetching directory blob: %w", err)
+	}
+	s.stats.BlobGets++
+	return verifyDirectory(rr, blob)
+}
+
+// assembleLocked reconstructs an entry's value from its chunks, fetching
+// and hash-verifying what the validating cache does not hold. Caller
+// holds s.mu.
+func (s *Store) assembleLocked(e *entry) ([]byte, error) {
+	value := make([]byte, 0, e.Size)
+	for _, h := range e.Chunks {
+		chunk, ok := s.chunkCache[string(h)]
+		if ok && !bytes.Equal(crypto.Hash(chunk), h) {
+			// The validating part of the cache: a corrupted entry is
+			// dropped and refetched rather than served.
+			delete(s.chunkCache, string(h))
+			s.chunkBytes -= len(chunk)
+			ok = false
+		}
+		if ok {
+			s.stats.ChunkCacheHits++
+		} else {
+			fetched, err := s.blobs.GetBlob(h)
+			if err != nil {
+				return nil, fmt.Errorf("kv: fetching chunk: %w", err)
+			}
+			s.stats.BlobGets++
+			if !bytes.Equal(crypto.Hash(fetched), h) {
+				return nil, errors.New("kv: chunk digest mismatch (tampered chunk)")
+			}
+			s.cacheChunk(h, fetched)
+			chunk = fetched
+		}
+		value = append(value, chunk...)
+	}
+	if int64(len(value)) != e.Size {
+		return nil, errors.New("kv: reassembled value size mismatch")
+	}
+	return value, nil
+}
+
+// cacheChunk stores a verified chunk, evicting arbitrary entries when
+// over budget. Caller holds s.mu.
+func (s *Store) cacheChunk(hash, chunk []byte) {
+	if s.chunkBudget <= 0 {
+		return
+	}
+	for s.chunkBytes+len(chunk) > s.chunkBudget && len(s.chunkCache) > 0 {
+		for k, v := range s.chunkCache {
+			delete(s.chunkCache, k)
+			s.chunkBytes -= len(v)
+			break
+		}
+	}
+	if s.chunkBytes+len(chunk) > s.chunkBudget {
+		return
+	}
+	s.chunkCache[string(hash)] = append([]byte(nil), chunk...)
+	s.chunkBytes += len(chunk)
+}
+
+// validKey checks the key constraints: non-empty, at most MaxKeyLen
+// bytes.
+func validKey(key string) error {
+	if len(key) == 0 {
+		return errors.New("kv: empty key")
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("kv: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
+	}
+	return nil
+}

@@ -73,9 +73,10 @@ type Info struct {
 
 // instance is one live shard.
 type instance struct {
-	info Info
-	core transport.ServerCore
-	ps   *store.Persistent // nil for in-memory shards
+	info  Info
+	core  transport.ServerCore
+	ps    *store.Persistent   // nil for in-memory shards
+	blobs transport.BlobStore // bulk blob channel backing (KV chunks)
 }
 
 // pendingCreate tracks one shard's in-flight instantiation so concurrent
@@ -104,6 +105,8 @@ type Router struct {
 var (
 	_ transport.ShardResolver  = (*Router)(nil)
 	_ transport.ShardPreflight = (*Router)(nil)
+	_ transport.BlobResolver   = (*Router)(nil)
+	_ transport.BlobStore      = (*store.FileBlobs)(nil)
 )
 
 // ValidName reports whether a shard name is acceptable: 1-64 bytes of
@@ -271,11 +274,15 @@ func (r *Router) ResolveShard(name string) (transport.ServerCore, error) {
 }
 
 // create instantiates one shard, recovering persistent state if any.
+// Every shard also gets a blob store for the bulk channel: in-memory
+// shards an in-memory one, persistent shards a file-backed one under
+// <dir>/blobs so chunked KV values survive restarts with the registers.
 func (r *Router) create(sp Spec) (*instance, error) {
 	srv := ustor.NewServer(sp.N)
 	inst := &instance{
-		info: Info{Name: sp.Name, N: sp.N, Persistent: sp.Persist},
-		core: srv,
+		info:  Info{Name: sp.Name, N: sp.N, Persistent: sp.Persist},
+		core:  srv,
+		blobs: transport.NewMemBlobs(),
 	}
 	if !sp.Persist {
 		return inst, nil
@@ -291,6 +298,12 @@ func (r *Router) create(sp Spec) (*instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: opening %q backend: %w", sp.Name, err)
 	}
+	blobs, err := store.OpenFileBlobs(filepath.Join(dir, "blobs"), r.opts.FileOptions.Fsync)
+	if err != nil {
+		_ = backend.Close()
+		return nil, fmt.Errorf("shard: opening %q blob store: %w", sp.Name, err)
+	}
+	inst.blobs = blobs
 	ps, err := store.Open(srv, backend, r.opts.StoreOptions)
 	if err != nil {
 		_ = backend.Close()
@@ -301,6 +314,22 @@ func (r *Router) create(sp Spec) (*instance, error) {
 	inst.info.Dir = dir
 	inst.info.RecoveredSnapshot, inst.info.ReplayedRecords = ps.Recovered()
 	return inst, nil
+}
+
+// ResolveBlobs implements transport.BlobResolver: it returns the named
+// shard's blob store, instantiating the shard on first use exactly like
+// ResolveShard (same lazy-creation slot, same default template rules).
+func (r *Router) ResolveBlobs(name string) (transport.BlobStore, error) {
+	if _, err := r.ResolveShard(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst, ok := r.open[name]
+	if !ok {
+		return nil, fmt.Errorf("shard: shard %q closed", name)
+	}
+	return inst.blobs, nil
 }
 
 // Info returns the instantiation record of an open shard.

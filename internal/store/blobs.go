@@ -1,0 +1,125 @@
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FileBlobs is a file-backed content-addressed blob store: one file per
+// blob, named by the hex of its hash, written atomically (tmp + rename).
+// It backs the bulk blob channel of persistent shards so that chunked KV
+// values survive a server restart alongside the WAL-recovered registers.
+//
+// Like every store in this system it authenticates nothing: the bytes on
+// disk are served verbatim, and a tampered chunk is caught by the
+// reader's content-hash check — the same trust model as the WAL (see the
+// package comment in file.go).
+type FileBlobs struct {
+	dir   string
+	fsync bool
+}
+
+// OpenFileBlobs opens (creating if needed) a blob directory. With fsync,
+// blob files are synced before the rename that publishes them, making
+// them durable against power loss like an fsync'd WAL record.
+func OpenFileBlobs(dir string, fsync bool) (*FileBlobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating blob dir: %w", err)
+	}
+	return &FileBlobs{dir: dir, fsync: fsync}, nil
+}
+
+// Dir returns the blob directory.
+func (b *FileBlobs) Dir() string { return b.dir }
+
+// path maps a hash to its blob file. Hex encoding keeps arbitrary hash
+// bytes path-safe.
+func (b *FileBlobs) path(hash []byte) string {
+	return filepath.Join(b.dir, hex.EncodeToString(hash))
+}
+
+// PutBlob stores data under hash. An existing blob with the same hash is
+// left untouched (content addressing makes overwrites meaningless), so
+// re-uploads of shared chunks cost one stat. Concurrent puts of the same
+// hash are safe: each writes its own temp file and the rename is atomic.
+func (b *FileBlobs) PutBlob(hash, data []byte) error {
+	if len(hash) == 0 || len(hash) > 64 {
+		return fmt.Errorf("store: blob hash of %d bytes out of range", len(hash))
+	}
+	dst := b.path(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(b.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: blob temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("store: writing blob: %w", err)
+	}
+	if b.fsync {
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("store: syncing blob: %w", err)
+		}
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		_ = os.Remove(name)
+		return fmt.Errorf("store: closing blob: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, dst); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("store: publishing blob: %w", err)
+	}
+	if b.fsync {
+		// The rename's directory entry must reach the disk before the
+		// caller commits a root record referencing this blob; without
+		// the directory sync a power loss could recover a WAL-durable
+		// root whose chunks vanished.
+		if err := syncDir(b.dir); err != nil {
+			return fmt.Errorf("store: syncing blob dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// GetBlob reads the blob stored under hash. A missing blob returns an
+// error wrapping fs.ErrNotExist, matching the transport.BlobStore
+// contract.
+func (b *FileBlobs) GetBlob(hash []byte) ([]byte, error) {
+	data, err := os.ReadFile(b.path(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: blob %x: %w", hash, fs.ErrNotExist)
+		}
+		return nil, fmt.Errorf("store: reading blob: %w", err)
+	}
+	return data, nil
+}
+
+// Len counts the stored blobs (excluding in-flight temp files). Exposed
+// for tests and introspection.
+func (b *FileBlobs) Len() (int, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) != ".tmp" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"faust/internal/crypto"
+)
+
+func TestFileBlobsRoundTrip(t *testing.T) {
+	b, err := OpenFileBlobs(filepath.Join(t.TempDir(), "blobs"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("blob"), 1000)
+	hash := crypto.Hash(data)
+	if err := b.PutBlob(hash, data); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-put of the same content is a no-op, not an error.
+	if err := b.PutBlob(hash, data); err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+	got, err := b.GetBlob(hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get = %d bytes, %v", len(got), err)
+	}
+	if _, err := b.GetBlob(crypto.Hash([]byte("missing"))); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing blob error = %v, want fs.ErrNotExist", err)
+	}
+	if n, err := b.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+	if err := b.PutBlob(nil, data); err == nil {
+		t.Fatal("empty hash accepted")
+	}
+}
+
+// TestFileBlobsSurviveReopen is the property the KV recovery path needs:
+// a fresh FileBlobs over the same directory serves everything the old one
+// stored — chunks are as durable as the WAL next to them.
+func TestFileBlobsSurviveReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "blobs")
+	b1, err := OpenFileBlobs(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("persisted chunk")
+	hash := crypto.Hash(data)
+	if err := b1.PutBlob(hash, data); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := OpenFileBlobs(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.GetBlob(hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("after reopen: %d bytes, %v", len(got), err)
+	}
+}
+
+// TestFileBlobsConcurrentSameHash: concurrent puts of one hash must all
+// succeed and leave exactly one valid blob (atomic publish via rename).
+func TestFileBlobsConcurrentSameHash(t *testing.T) {
+	b, err := OpenFileBlobs(filepath.Join(t.TempDir(), "blobs"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("c"), 1<<16)
+	hash := crypto.Hash(data)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- b.PutBlob(hash, data)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent put: %v", err)
+		}
+	}
+	got, err := b.GetBlob(hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after concurrent puts: %d bytes, %v", len(got), err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(b.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

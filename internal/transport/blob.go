@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"faust/internal/wire"
+)
+
+// The bulk blob channel. The KV layer stores large values as
+// content-addressed chunks; moving them through the USTOR request path
+// would serialize bulk transfers behind the shard dispatcher and bloat
+// the O(n) protocol messages. Instead every transport offers a second,
+// independent channel that speaks only wire.BlobPut/BlobGet and talks
+// directly to a BlobStore — concurrent with the dispatcher, one
+// request/response at a time per channel.
+//
+// The channel is deliberately unauthenticated (the server is the
+// untrusted party either way): readers recompute the content hash of
+// every blob they receive, and the hashes themselves are integrity-
+// protected by the KV directory whose Merkle root lives in a fail-aware
+// register.
+//
+// Like the SUBMIT path — where any connection presenting an in-range
+// client id may stream arbitrarily many operations — the blob channel
+// imposes no identity, quota, or rate limit beyond the per-blob size
+// cap: resource exhaustion by a network-level attacker is outside the
+// protocol's threat model (it protects DATA, not AVAILABILITY; the
+// paper's server can always refuse service). Deployments that care
+// should front the listener with network ACLs, exactly as they would
+// add TLS for confidentiality (see the transport comment in tcp.go).
+
+// MaxBlobSize bounds a single blob. It stays under the TCP frame limit
+// with room for framing.
+const MaxBlobSize = 8 << 20
+
+// ErrNoBlobStore is returned when the server side has no blob store
+// configured for the requested shard.
+var ErrNoBlobStore = fmt.Errorf("transport: no blob store")
+
+// BlobStore is the server-side storage of the bulk channel: a flat
+// content-addressed blob namespace. Implementations must be safe for
+// concurrent use. A missing blob reads as an error wrapping fs.ErrNotExist.
+//
+// PutBlob stores verbatim under the given hash WITHOUT verifying that the
+// hash matches the data: the server verifies nothing in this protocol,
+// and it is the reader's job to check content hashes. Tests exploit this
+// to plant tampered chunks.
+type BlobStore interface {
+	PutBlob(hash, data []byte) error
+	GetBlob(hash []byte) ([]byte, error)
+}
+
+// BlobChannel is the client-side handle of the bulk channel.
+// Implementations serialize requests internally; a channel is cheap and a
+// client that wants parallel transfers opens several.
+type BlobChannel interface {
+	PutBlob(hash, data []byte) error
+	GetBlob(hash []byte) ([]byte, error)
+	Close() error
+}
+
+// BlobResolver is an optional ShardResolver extension mapping a shard
+// name to that shard's blob store. A TCP server whose resolver implements
+// it accepts blob-channel handshakes; otherwise they are rejected.
+type BlobResolver interface {
+	ResolveBlobs(name string) (BlobStore, error)
+}
+
+// errBlobNotFound wraps fs.ErrNotExist with the hash for diagnostics.
+func errBlobNotFound(hash []byte) error {
+	return fmt.Errorf("blob %x: %w", shortHash(hash), fs.ErrNotExist)
+}
+
+func shortHash(hash []byte) []byte {
+	if len(hash) > 8 {
+		return hash[:8]
+	}
+	return hash
+}
+
+// checkBlobSizes validates a put against the channel limits.
+func checkBlobSizes(hash, data []byte) error {
+	if len(hash) == 0 {
+		return fmt.Errorf("transport: empty blob hash")
+	}
+	if len(hash) > 64 {
+		return fmt.Errorf("transport: blob hash of %d bytes exceeds limit 64", len(hash))
+	}
+	if len(data) > MaxBlobSize {
+		return fmt.Errorf("transport: blob of %d bytes exceeds limit %d", len(data), MaxBlobSize)
+	}
+	return nil
+}
+
+// MemBlobs is the in-memory BlobStore: a map from hash to bytes. Safe for
+// concurrent use.
+type MemBlobs struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+var _ BlobStore = (*MemBlobs)(nil)
+
+// NewMemBlobs creates an empty in-memory blob store.
+func NewMemBlobs() *MemBlobs {
+	return &MemBlobs{m: make(map[string][]byte)}
+}
+
+// PutBlob stores a copy of data under hash, overwriting any previous
+// blob. No hash verification happens here (see BlobStore).
+func (b *MemBlobs) PutBlob(hash, data []byte) error {
+	if err := checkBlobSizes(hash, data); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	b.m[string(hash)] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+// GetBlob returns a copy of the blob stored under hash.
+func (b *MemBlobs) GetBlob(hash []byte) ([]byte, error) {
+	b.mu.RLock()
+	data, ok := b.m[string(hash)]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, errBlobNotFound(hash)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Len returns the number of stored blobs.
+func (b *MemBlobs) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.m)
+}
+
+// serveBlobMsg executes one decoded blob-channel request against a store
+// and returns the response message. Shared by the TCP connection loop and
+// the in-memory channel.
+func serveBlobMsg(bs BlobStore, m wire.Message) wire.Message {
+	switch req := m.(type) {
+	case *wire.BlobPut:
+		// Enforce the channel limits here so every store behind the
+		// server — in-memory or file-backed — rejects oversized blobs
+		// uniformly, whatever its own validation does.
+		err := checkBlobSizes(req.Hash, req.Data)
+		if err == nil {
+			err = bs.PutBlob(req.Hash, req.Data)
+		}
+		if err != nil {
+			return &wire.BlobAck{Hash: req.Hash, OK: false, Msg: err.Error()}
+		}
+		return &wire.BlobAck{Hash: req.Hash, OK: true}
+	case *wire.BlobGet:
+		data, err := bs.GetBlob(req.Hash)
+		switch {
+		case err == nil:
+			return &wire.BlobData{Hash: req.Hash, Found: true, Data: data}
+		case errors.Is(err, fs.ErrNotExist):
+			return &wire.BlobData{Hash: req.Hash, Found: false}
+		default:
+			// A real store failure (I/O error, permissions) must not
+			// masquerade as "not found" — answer with an explicit error
+			// ack so operators and callers can tell the two apart.
+			return &wire.BlobAck{Hash: req.Hash, OK: false, Msg: err.Error()}
+		}
+	default:
+		return nil
+	}
+}
+
+// memBlobChannel is the memory transport's BlobChannel: requests go
+// straight to the network's store, bypassing the dispatcher — exactly the
+// concurrency the TCP channel has.
+type memBlobChannel struct {
+	nw     *Network
+	closed sync.Once
+	dead   bool
+	mu     sync.Mutex
+}
+
+var _ BlobChannel = (*memBlobChannel)(nil)
+
+func (c *memBlobChannel) PutBlob(hash, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return ErrClosed
+	}
+	if err := checkBlobSizes(hash, data); err != nil {
+		return err
+	}
+	if c.nw.metrics {
+		c.nw.countBlob(true, len(hash)+len(data))
+	}
+	return c.nw.blobs.PutBlob(hash, data)
+}
+
+func (c *memBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, ErrClosed
+	}
+	data, err := c.nw.blobs.GetBlob(hash)
+	if err != nil {
+		return nil, err
+	}
+	if c.nw.metrics {
+		c.nw.countBlob(false, len(hash)+len(data))
+	}
+	return data, nil
+}
+
+func (c *memBlobChannel) Close() error {
+	c.closed.Do(func() {
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+	})
+	return nil
+}

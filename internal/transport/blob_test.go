@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"testing"
+
+	"faust/internal/crypto"
+)
+
+// fakeBlobResolver serves one shared core and, for known shard names, a
+// blob store. It stands in for shard.Router (which lives above transport).
+type fakeBlobResolver struct {
+	core  ServerCore
+	blobs map[string]BlobStore
+}
+
+func (f *fakeBlobResolver) ResolveShard(string) (ServerCore, error) { return f.core, nil }
+
+func (f *fakeBlobResolver) ResolveBlobs(name string) (BlobStore, error) {
+	bs, ok := f.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("no blobs for shard %q", name)
+	}
+	return bs, nil
+}
+
+// TestMemBlobChannel exercises the in-memory bulk channel: put/get round
+// trip, not-found, and the metrics accounting.
+func TestMemBlobChannel(t *testing.T) {
+	bs := NewMemBlobs()
+	nw := NewNetwork(1, &echoCore{}, WithMetrics(), WithBlobStore(bs))
+	defer nw.Stop()
+
+	ch, err := nw.BlobChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 1000)
+	hash := crypto.Hash(data)
+	if err := ch.PutBlob(hash, data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := ch.GetBlob(hash)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("blob round trip corrupted the data")
+	}
+	if _, err := ch.GetBlob(crypto.Hash([]byte("absent"))); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing blob error = %v, want fs.ErrNotExist", err)
+	}
+	st := nw.Stats()
+	if st.ClientToServerMsgs != 1 || st.ServerToClientMsgs != 1 {
+		t.Fatalf("blob metrics = %+v, want one message each way", st)
+	}
+	if err := ch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.PutBlob(hash, data); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close = %v, want ErrClosed", err)
+	}
+
+	// A network without a blob store refuses to open channels.
+	nw2 := NewNetwork(1, &echoCore{})
+	defer nw2.Stop()
+	if _, err := nw2.BlobChannel(); !errors.Is(err, ErrNoBlobStore) {
+		t.Fatalf("channel without store = %v, want ErrNoBlobStore", err)
+	}
+}
+
+// TestMemBlobsUnverified documents the BlobStore contract: stores accept
+// whatever bytes the hash claims to address (the server verifies
+// nothing); readers must check. Tamper tests depend on this.
+func TestMemBlobsUnverified(t *testing.T) {
+	bs := NewMemBlobs()
+	hash := crypto.Hash([]byte("real content"))
+	if err := bs.PutBlob(hash, []byte("something else entirely")); err != nil {
+		t.Fatalf("unverified put rejected: %v", err)
+	}
+	got, err := bs.GetBlob(hash)
+	if err != nil || string(got) != "something else entirely" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+// TestTCPBlobChannel runs the bulk channel over a real TCP loopback
+// server next to protocol connections on the same listener.
+func TestTCPBlobChannel(t *testing.T) {
+	resolver := &fakeBlobResolver{
+		core:  &echoCore{},
+		blobs: map[string]BlobStore{DefaultShard: NewMemBlobs()},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCPSharded(ln, resolver)
+	defer srv.Stop()
+
+	ch, err := DialTCPBlob(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	// Several sizes, including empty and larger-than-typical-chunk.
+	for _, size := range []int{0, 1, 4096, 1 << 20} {
+		data := bytes.Repeat([]byte{byte(size)}, size)
+		hash := crypto.Hash(data)
+		if err := ch.PutBlob(hash, data); err != nil {
+			t.Fatalf("put %d bytes: %v", size, err)
+		}
+		got, err := ch.GetBlob(hash)
+		if err != nil {
+			t.Fatalf("get %d bytes: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d-byte blob corrupted in transit", size)
+		}
+	}
+	if _, err := ch.GetBlob(crypto.Hash([]byte("never-stored"))); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing blob error = %v, want fs.ErrNotExist", err)
+	}
+
+	// Oversized puts are refused client-side before any bytes move.
+	big := make([]byte, MaxBlobSize+1)
+	if err := ch.PutBlob(crypto.Hash([]byte("big")), big); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+}
+
+// TestTCPBlobChannelRejected: unknown shards and resolvers without blob
+// support reject the handshake with the reason in the ack.
+func TestTCPBlobChannelRejected(t *testing.T) {
+	resolver := &fakeBlobResolver{
+		core:  &echoCore{},
+		blobs: map[string]BlobStore{DefaultShard: NewMemBlobs()},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCPSharded(ln, resolver)
+	defer srv.Stop()
+	if _, err := DialTCPBlob(ln.Addr().String(), "no-such-shard"); err == nil {
+		t.Fatal("blob channel to unknown shard accepted")
+	}
+
+	// A resolver without BlobResolver support rejects every blob dial.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := ServeTCP(ln2, &echoCore{})
+	defer srv2.Stop()
+	if _, err := DialTCPBlob(ln2.Addr().String(), ""); err == nil {
+		t.Fatal("blob channel accepted by a server without blob stores")
+	}
+}
+
+// TestTCPBlobChannelStop: Stop closes live blob connections so the
+// server shuts down promptly and later requests fail.
+func TestTCPBlobChannelStop(t *testing.T) {
+	resolver := &fakeBlobResolver{
+		core:  &echoCore{},
+		blobs: map[string]BlobStore{DefaultShard: NewMemBlobs()},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCPSharded(ln, resolver)
+	ch, err := DialTCPBlob(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	data := []byte("alive")
+	if err := ch.PutBlob(crypto.Hash(data), data); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop() // must not hang on the open blob connection
+	if err := ch.PutBlob(crypto.Hash(data), data); err == nil {
+		t.Fatal("put succeeded after server stop")
+	}
+}

@@ -23,6 +23,8 @@ type Network struct {
 	metrics bool
 	stats   Stats
 
+	blobs BlobStore // nil = no bulk channel
+
 	delayMax  time.Duration
 	delayRand *rand.Rand
 	delayMu   sync.Mutex
@@ -41,6 +43,13 @@ type Option func(*Network)
 // bytes a TCP deployment would send.
 func WithMetrics() Option {
 	return func(nw *Network) { nw.metrics = true }
+}
+
+// WithBlobStore attaches a bulk blob store to the network. Clients reach
+// it through Network.BlobChannel; blob transfers run concurrently with
+// the dispatcher, exactly as the TCP transport's blob connections do.
+func WithBlobStore(bs BlobStore) Option {
+	return func(nw *Network) { nw.blobs = bs }
 }
 
 // WithDelay makes every client->server message wait a pseudo-random delay
@@ -174,6 +183,30 @@ func (nw *Network) dispatch() {
 
 // ClientLink returns the link endpoint for client i.
 func (nw *Network) ClientLink(i int) Link { return nw.links[i] }
+
+// Blobs returns the network's blob store, nil when none is attached.
+func (nw *Network) Blobs() BlobStore { return nw.blobs }
+
+// BlobChannel opens a bulk blob channel into the network's blob store.
+// It fails when the network was created without WithBlobStore.
+func (nw *Network) BlobChannel() (BlobChannel, error) {
+	if nw.blobs == nil {
+		return nil, ErrNoBlobStore
+	}
+	return &memBlobChannel{nw: nw}, nil
+}
+
+// countBlob accounts one blob transfer in the traffic counters.
+// toServer is true for puts (client->server direction).
+func (nw *Network) countBlob(toServer bool, bytes int) {
+	if toServer {
+		atomic.AddInt64(&nw.stats.ClientToServerMsgs, 1)
+		atomic.AddInt64(&nw.stats.ClientToServerBytes, int64(bytes))
+		return
+	}
+	atomic.AddInt64(&nw.stats.ServerToClientMsgs, 1)
+	atomic.AddInt64(&nw.stats.ServerToClientBytes, int64(bytes))
+}
 
 // Stats returns a snapshot of the traffic counters. Valid only when the
 // network was created WithMetrics.

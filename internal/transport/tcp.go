@@ -42,6 +42,13 @@ const DefaultShard = "default"
 // helloMagic prefixes every v2 handshake frame.
 var helloMagic = [4]byte{0xFA, 0x57, 'H', '2'}
 
+// blobMagic prefixes the handshake of a bulk blob-channel connection:
+// magic (4 bytes) | shard name length (u16) | shard name. The server
+// answers with the same ack frame as a v2 hello. Blob connections carry
+// only BLOB_* messages, served directly on the connection goroutine —
+// bulk transfers never queue behind the shard dispatcher.
+var blobMagic = [4]byte{0xFA, 0x57, 'B', '1'}
+
 const (
 	legacyHelloLen  = 4
 	v2HelloMinLen   = 10 // magic + id + name length, before the name bytes
@@ -225,12 +232,13 @@ type TCPServer struct {
 	shared           bool
 	sharedInbox      *fifo[tcpEnvelope] // non-nil iff shared
 
-	mu      sync.Mutex
-	stopped bool
-	pending map[net.Conn]struct{} // accepted, handshake not yet complete
-	shards  map[string]*shardRT   // successfully created runtimes
-	slots   map[string]*shardSlot // creation slots, including in-flight ones
-	wg      sync.WaitGroup
+	mu        sync.Mutex
+	stopped   bool
+	pending   map[net.Conn]struct{} // accepted, handshake not yet complete
+	blobConns map[net.Conn]struct{} // post-handshake blob-channel connections
+	shards    map[string]*shardRT   // successfully created runtimes
+	slots     map[string]*shardSlot // creation slots, including in-flight ones
+	wg        sync.WaitGroup
 }
 
 // shardSlot tracks one shard runtime's creation so concurrent handshakes
@@ -264,6 +272,7 @@ func ServeTCPSharded(ln net.Listener, resolver ShardResolver, opts ...TCPOption)
 		ln:               ln,
 		handshakeTimeout: defaultHandshakeTimeout,
 		pending:          make(map[net.Conn]struct{}),
+		blobConns:        make(map[net.Conn]struct{}),
 		shards:           make(map[string]*shardRT),
 		slots:            make(map[string]*shardSlot),
 	}
@@ -310,6 +319,9 @@ func (s *TCPServer) Stop() {
 	s.stopped = true
 	_ = s.ln.Close()
 	for c := range s.pending {
+		_ = c.Close()
+	}
+	for c := range s.blobConns {
 		_ = c.Close()
 	}
 	rts := make([]*shardRT, 0, len(s.shards))
@@ -481,6 +493,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
+	if len(hello) >= 4 && bytes.Equal(hello[:4], blobMagic[:]) {
+		s.serveBlobConn(conn, hello)
+		return
+	}
 	name, id, v2, err := parseHello(hello)
 	if err != nil {
 		s.dropPending(conn)
@@ -538,6 +554,82 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// parseBlobHello decodes a blob-channel handshake frame.
+func parseBlobHello(hello []byte) (shardName string, err error) {
+	if len(hello) < v2HelloMinLen-4 || !bytes.Equal(hello[:4], blobMagic[:]) {
+		return "", fmt.Errorf("transport: malformed blob handshake frame (%d bytes)", len(hello))
+	}
+	nameLen := int(binary.BigEndian.Uint16(hello[4:6]))
+	if nameLen == 0 || nameLen > maxShardNameLen || len(hello) != 6+nameLen {
+		return "", fmt.Errorf("transport: malformed blob handshake (name length %d in %d-byte frame)", nameLen, len(hello))
+	}
+	return string(hello[6:]), nil
+}
+
+// serveBlobConn runs one bulk blob-channel connection: resolve the named
+// shard's blob store, ack, then serve BLOB_PUT/BLOB_GET requests directly
+// on this goroutine. The caller has already read the hello frame.
+func (s *TCPServer) serveBlobConn(conn net.Conn, hello []byte) {
+	var bs BlobStore
+	name, err := parseBlobHello(hello)
+	if err == nil {
+		if br, ok := s.resolver.(BlobResolver); ok {
+			bs, err = br.ResolveBlobs(name)
+			if err == nil && bs == nil {
+				err = ErrNoBlobStore
+			}
+		} else {
+			err = ErrNoBlobStore
+		}
+	}
+	if ackErr := writeAck(conn, err); ackErr != nil && err == nil {
+		err = ackErr
+	}
+	if err != nil || !s.registerBlobConn(conn) {
+		s.dropPending(conn)
+		_ = conn.Close()
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.blobConns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	var wmu sync.Mutex
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := wire.Decode(payload)
+		if err != nil {
+			return
+		}
+		resp := serveBlobMsg(bs, msg)
+		if resp == nil {
+			return // non-blob message on a blob connection: protocol error
+		}
+		if err := writeFramedMsg(conn, &wmu, resp); err != nil {
+			return
+		}
+	}
+}
+
+// registerBlobConn moves a connection from the pending set into the blob
+// registry so Stop closes it. Returns false when the server stopped.
+func (s *TCPServer) registerBlobConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pending, conn)
+	if s.stopped {
+		return false
+	}
+	s.blobConns[conn] = struct{}{}
+	return true
 }
 
 // register atomically moves a connection from the pending set into its
@@ -652,6 +744,117 @@ func DialTCPShard(addr, shard string, id int) (Link, error) {
 	}
 	return &tcpLink{conn: conn}, nil
 }
+
+// DialTCPBlob opens a bulk blob channel to the named shard of a
+// TCPServer at addr. The server must host a blob store for the shard (a
+// resolver implementing BlobResolver); otherwise the handshake is
+// rejected with the reason. An empty shard name targets the default
+// shard. The channel serializes requests; open several for parallelism.
+func DialTCPBlob(addr, shard string) (BlobChannel, error) {
+	if shard == "" {
+		shard = DefaultShard
+	}
+	if len(shard) > maxShardNameLen {
+		return nil, fmt.Errorf("transport: shard name %d bytes long, limit %d", len(shard), maxShardNameLen)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	hello := make([]byte, 0, 6+len(shard))
+	hello = append(hello, blobMagic[:]...)
+	hello = binary.BigEndian.AppendUint16(hello, uint16(len(shard)))
+	hello = append(hello, shard...)
+	if err := writeFrame(conn, hello); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: blob handshake: %w", err)
+	}
+	ack, err := readFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: blob handshake ack: %w", err)
+	}
+	if len(ack) < 1 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: empty blob handshake ack")
+	}
+	if ack[0] != 0 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: server rejected blob channel: %s", ack[1:])
+	}
+	return &tcpBlobChannel{conn: conn}, nil
+}
+
+// tcpBlobChannel is the client side of one blob-channel connection. One
+// request is in flight at a time (mu covers the send+receive pair).
+type tcpBlobChannel struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+var _ BlobChannel = (*tcpBlobChannel)(nil)
+
+// roundTrip sends one request and reads its response.
+func (c *tcpBlobChannel) roundTrip(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFramedMsg(c.conn, &c.wmu, req); err != nil {
+		return nil, fmt.Errorf("transport: blob send: %w", err)
+	}
+	payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: blob recv: %w", err)
+	}
+	m, err := wire.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: blob decode: %w", err)
+	}
+	return m, nil
+}
+
+// PutBlob implements BlobChannel.
+func (c *tcpBlobChannel) PutBlob(hash, data []byte) error {
+	if err := checkBlobSizes(hash, data); err != nil {
+		return err
+	}
+	m, err := c.roundTrip(&wire.BlobPut{Hash: hash, Data: data})
+	if err != nil {
+		return err
+	}
+	ack, ok := m.(*wire.BlobAck)
+	if !ok || !bytes.Equal(ack.Hash, hash) {
+		return fmt.Errorf("transport: blob put answered with a mismatched %T", m)
+	}
+	if !ack.OK {
+		return fmt.Errorf("transport: blob put rejected: %s", ack.Msg)
+	}
+	return nil
+}
+
+// GetBlob implements BlobChannel.
+func (c *tcpBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+	m, err := c.roundTrip(&wire.BlobGet{Hash: hash})
+	if err != nil {
+		return nil, err
+	}
+	// A server-side store failure (not a missing blob) arrives as an
+	// error ack; keep it distinct from not-found.
+	if ack, ok := m.(*wire.BlobAck); ok && bytes.Equal(ack.Hash, hash) && !ack.OK {
+		return nil, fmt.Errorf("transport: blob get failed at the server: %s", ack.Msg)
+	}
+	data, ok := m.(*wire.BlobData)
+	if !ok || !bytes.Equal(data.Hash, hash) {
+		return nil, fmt.Errorf("transport: blob get answered with a mismatched %T", m)
+	}
+	if !data.Found {
+		return nil, errBlobNotFound(hash)
+	}
+	return data.Data, nil
+}
+
+// Close implements BlobChannel.
+func (c *tcpBlobChannel) Close() error { return c.conn.Close() }
 
 // Send implements Link. The frame is built in a pooled buffer and written
 // with a single Write call under the link's write lock.

@@ -38,10 +38,16 @@ type OpResult struct {
 
 // ReadResult extends OpResult for reads with the returned register value
 // and the writer's signed version SVER[j] from the REPLY.
+// WriterTimestamp is the timestamp t_j of the returned value — the
+// reply's MEM[j].T, which the line 51 check pins to V[j] as of this
+// operation (0 for a never-written register). Cache layers use it to
+// tag values with exactly the version they were read at, immune to
+// concurrent operations on the same client.
 type ReadResult struct {
 	OpResult
-	Value         []byte
-	WriterVersion wire.SignedVersion
+	Value           []byte
+	WriterVersion   wire.SignedVersion
+	WriterTimestamp int64
 }
 
 // Client is the USTOR client of Algorithm 1. A Client executes operations
@@ -149,6 +155,20 @@ func (c *Client) Version() version.Version {
 	return c.ver.Clone()
 }
 
+// ObservedTimestamp returns V[j] of the client's current version: the
+// timestamp of the last operation by client j that this client has
+// observed (through replies and their concurrent-operation lists).
+// Unlike Version it copies nothing — cache layers consult it on their
+// hot path. Out-of-range indices return 0.
+func (c *Client) ObservedTimestamp(j int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j < 0 || j >= c.n {
+		return 0
+	}
+	return c.ver.V[j]
+}
+
 // getLink returns the current transport link.
 func (c *Client) getLink() transport.Link {
 	c.linkMu.Lock()
@@ -189,6 +209,19 @@ func (c *Client) Write(x []byte) error {
 }
 
 // Read implements read_i(X_j) (Algorithm 1 lines 21-23).
+//
+// # Empty-register semantics
+//
+// A register whose owner has never completed a write reads as a nil
+// value with a nil error — the paper's bottom, not a failure. The same
+// holds after the owner explicitly writes nil (writing bottom is legal);
+// the two cases are distinguishable through ReadX: a never-written
+// register comes with the zero WriterVersion, an explicit nil write with
+// a non-zero one. A nil value and a present-but-empty value ([]byte{})
+// are distinct: Write(nil) stores bottom, Write([]byte{}) stores an
+// empty value, and reads return exactly what was written. Layers above
+// rely on this bootstrap contract — package kv treats a nil register as
+// the empty key directory.
 func (c *Client) Read(j int) ([]byte, error) {
 	res, err := c.ReadX(j)
 	if err != nil {
@@ -246,6 +279,11 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 // ReadX is the extended read (Algorithm 1 lines 24-33): identical to Read
 // but additionally returns the committed version and the writer's signed
 // version.
+//
+// Empty-register semantics match Read: a never-written register yields
+// Value == nil, err == nil, and a WriterVersion whose Ver.IsZero() —
+// never an error. See Read for the nil / empty / never-written
+// distinctions.
 func (c *Client) ReadX(j int) (ReadResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -287,9 +325,10 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 		return ReadResult{}, err
 	}
 	return ReadResult{
-		OpResult:      OpResult{Version: sv, Timestamp: c.ver.V[c.id]},
-		Value:         reply.Mem.Value,
-		WriterVersion: reply.JVer.Clone(),
+		OpResult:        OpResult{Version: sv, Timestamp: c.ver.V[c.id]},
+		Value:           reply.Mem.Value,
+		WriterVersion:   reply.JVer.Clone(),
+		WriterTimestamp: reply.Mem.T,
 	}, nil
 }
 

@@ -1,0 +1,73 @@
+package ustor
+
+import (
+	"testing"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+)
+
+// TestEmptyRegisterReadSemantics pins the documented bootstrap contract
+// of Read/ReadX, which the kv layer builds its empty-directory bootstrap
+// on: a never-written register reads as (nil, nil) with a zero writer
+// version; an explicit nil write still reads nil but with a non-zero
+// writer version; and nil vs empty-slice values stay distinct.
+func TestEmptyRegisterReadSemantics(t *testing.T) {
+	const n = 3
+	ring, signers := crypto.NewTestKeyring(n, 55)
+	nw := transport.NewNetwork(n, NewServer(n))
+	defer nw.Stop()
+	c0 := NewClient(0, ring, signers[0], nw.ClientLink(0))
+	c1 := NewClient(1, ring, signers[1], nw.ClientLink(1))
+
+	// Never written: nil value, nil error, zero writer version.
+	res, err := c1.ReadX(0)
+	if err != nil {
+		t.Fatalf("reading a never-written register must not error: %v", err)
+	}
+	if res.Value != nil {
+		t.Fatalf("never-written register read %q, want nil", res.Value)
+	}
+	if !res.WriterVersion.Ver.IsZero() {
+		t.Fatalf("never-written register has writer version %v, want zero", res.WriterVersion.Ver)
+	}
+
+	// Reading one's own never-written register works the same way (the
+	// kv bootstrap path).
+	own, err := c0.ReadX(0)
+	if err != nil || own.Value != nil {
+		t.Fatalf("own empty read = %q, %v; want nil, nil", own.Value, err)
+	}
+
+	// Explicit nil write (bottom): still reads nil, but the writer
+	// version is now non-zero — the two cases are distinguishable.
+	if err := c0.Write(nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c1.ReadX(0)
+	if err != nil || res.Value != nil {
+		t.Fatalf("after Write(nil): read %q, %v; want nil, nil", res.Value, err)
+	}
+	if res.WriterVersion.Ver.IsZero() {
+		t.Fatal("after Write(nil) the writer version must be non-zero")
+	}
+
+	// Empty-slice write is NOT bottom: it reads back as a present,
+	// zero-length value.
+	if err := c0.Write([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c1.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || len(v) != 0 {
+		t.Fatalf("after Write([]byte{}): read %v, want non-nil empty", v)
+	}
+
+	for i, c := range []*Client{c0, c1} {
+		if failed, reason := c.Failed(); failed {
+			t.Fatalf("client %d failed: %v", i, reason)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package wire
+
+// Bulk blob channel messages.
+//
+// The KV layer (package kv) stores large values as content-addressed
+// chunks. Chunks do not travel through the USTOR request path — a SUBMIT
+// carries at most one register value and every message on that path is
+// serialized through the shard's dispatcher — but over a dedicated bulk
+// channel with its own four messages:
+//
+//	BLOB_PUT   uploads one blob under its content hash.
+//	BLOB_ACK   acknowledges a BLOB_PUT (or reports the store's error).
+//	BLOB_GET   requests the blob stored under a hash.
+//	BLOB_DATA  answers a BLOB_GET; Found is false for unknown hashes.
+//
+// The channel carries NO authentication on purpose: blobs are
+// content-addressed, so the reader recomputes the hash of every byte it
+// receives and rejects mismatches — a lying server is caught exactly like
+// a lying register reply, just by hashing instead of signature checks.
+// Integrity of the hash itself comes from the KV directory, whose Merkle
+// root is committed through the fail-aware register.
+
+// Blob message kinds, continuing after the lock-step baseline's kinds.
+const (
+	KindBlobPut Kind = iota + 10
+	KindBlobAck
+	KindBlobGet
+	KindBlobData
+)
+
+// BlobPut uploads Data under its content hash. The server stores the
+// bytes verbatim; it verifies nothing (it is the untrusted party).
+type BlobPut struct {
+	Hash []byte
+	Data []byte
+}
+
+// BlobAck acknowledges a BlobPut. OK is false when the store failed, with
+// the reason in Msg.
+type BlobAck struct {
+	Hash []byte
+	OK   bool
+	Msg  string
+}
+
+// BlobGet requests the blob stored under Hash.
+type BlobGet struct {
+	Hash []byte
+}
+
+// BlobData answers a BlobGet. Found is false (and Data nil) when no blob
+// is stored under the hash.
+type BlobData struct {
+	Hash  []byte
+	Found bool
+	Data  []byte
+}
+
+// MsgKind implementations.
+func (*BlobPut) MsgKind() Kind  { return KindBlobPut }
+func (*BlobAck) MsgKind() Kind  { return KindBlobAck }
+func (*BlobGet) MsgKind() Kind  { return KindBlobGet }
+func (*BlobData) MsgKind() Kind { return KindBlobData }
+
+// Interface compliance checks.
+var (
+	_ Message = (*BlobPut)(nil)
+	_ Message = (*BlobAck)(nil)
+	_ Message = (*BlobGet)(nil)
+	_ Message = (*BlobData)(nil)
+)
+
+func (b *BlobPut) encodeBody(buf []byte) []byte {
+	buf = appendBytes(buf, b.Hash)
+	return appendBytes(buf, b.Data)
+}
+
+func (b *BlobAck) encodeBody(buf []byte) []byte {
+	buf = appendBytes(buf, b.Hash)
+	buf = appendBool(buf, b.OK)
+	return appendBytes(buf, []byte(b.Msg))
+}
+
+func (b *BlobGet) encodeBody(buf []byte) []byte {
+	return appendBytes(buf, b.Hash)
+}
+
+func (b *BlobData) encodeBody(buf []byte) []byte {
+	buf = appendBytes(buf, b.Hash)
+	buf = appendBool(buf, b.Found)
+	return appendBytes(buf, b.Data)
+}
+
+// decodeBlob parses the body of a blob-channel message. It returns nil
+// for kinds it does not own; the reader carries any codec error.
+func decodeBlob(kind Kind, r *reader) Message {
+	switch kind {
+	case KindBlobPut:
+		b := &BlobPut{}
+		b.Hash = r.bytes()
+		b.Data = r.bytes()
+		return b
+	case KindBlobAck:
+		b := &BlobAck{}
+		b.Hash = r.bytes()
+		b.OK = r.bool()
+		b.Msg = string(r.bytes())
+		return b
+	case KindBlobGet:
+		return &BlobGet{Hash: r.bytes()}
+	case KindBlobData:
+		b := &BlobData{}
+		b.Hash = r.bytes()
+		b.Found = r.bool()
+		b.Data = r.bytes()
+		return b
+	default:
+		return nil
+	}
+}

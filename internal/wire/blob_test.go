@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBlobMessageRoundTrip encodes and decodes every blob-channel message
+// shape, including nil-vs-empty byte strings, which the codec must keep
+// distinct.
+func TestBlobMessageRoundTrip(t *testing.T) {
+	hash := bytes.Repeat([]byte{0xab}, 32)
+	msgs := []Message{
+		&BlobPut{Hash: hash, Data: []byte("chunk-bytes")},
+		&BlobPut{Hash: hash, Data: []byte{}},
+		&BlobAck{Hash: hash, OK: true},
+		&BlobAck{Hash: hash, OK: false, Msg: "store: disk full"},
+		&BlobGet{Hash: hash},
+		&BlobData{Hash: hash, Found: true, Data: []byte("payload")},
+		&BlobData{Hash: hash, Found: false},
+	}
+	for _, m := range msgs {
+		enc := Encode(m)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if dec.MsgKind() != m.MsgKind() {
+			t.Fatalf("kind mismatch: sent %v, got %v", m.MsgKind(), dec.MsgKind())
+		}
+		if !bytes.Equal(Encode(dec), enc) {
+			t.Fatalf("%T did not round-trip canonically", m)
+		}
+	}
+
+	// nil vs empty Data must survive the round trip distinctly.
+	withEmpty, _ := Decode(Encode(&BlobPut{Hash: hash, Data: []byte{}}))
+	if d := withEmpty.(*BlobPut).Data; d == nil || len(d) != 0 {
+		t.Fatalf("empty data decoded as %v, want non-nil empty", d)
+	}
+	withNil, _ := Decode(Encode(&BlobData{Hash: hash, Found: false}))
+	if d := withNil.(*BlobData).Data; d != nil {
+		t.Fatalf("nil data decoded as %v, want nil", d)
+	}
+}
+
+// TestBlobMessageTruncated rejects truncated encodings at every length.
+func TestBlobMessageTruncated(t *testing.T) {
+	enc := Encode(&BlobPut{Hash: bytes.Repeat([]byte{1}, 32), Data: []byte("abcdef")})
+	for l := 1; l < len(enc); l++ {
+		if _, err := Decode(enc[:l]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", l)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -118,11 +118,15 @@ type MemEntry struct {
 	DataSig []byte
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Nil and empty byte strings stay distinct: a
+// nil Value is the paper's bottom while an empty one is a present
+// zero-length register value, and collapsing the latter to nil would
+// make honest empty values fail the reader's DATA-signature check.
 func (m MemEntry) Clone() MemEntry {
 	c := MemEntry{T: m.T}
 	if m.Value != nil {
-		c.Value = append([]byte(nil), m.Value...)
+		c.Value = make([]byte, len(m.Value))
+		copy(c.Value, m.Value)
 	}
 	if m.DataSig != nil {
 		c.DataSig = append([]byte(nil), m.DataSig...)
@@ -633,6 +637,11 @@ func Decode(data []byte) (Message, error) {
 		m = f
 	case KindLSSubmit, KindLSReply, KindLSCommit:
 		m = decodeLockstep(kind, r)
+		if m == nil {
+			return nil, ErrCodec
+		}
+	case KindBlobPut, KindBlobAck, KindBlobGet, KindBlobData:
+		m = decodeBlob(kind, r)
 		if m == nil {
 			return nil, ErrCodec
 		}

@@ -114,3 +114,93 @@ func TestForcedKinds(t *testing.T) {
 		t.Fatal("NextRead returned a write")
 	}
 }
+
+// TestKVWorkloadDeterminism: identical configs generate identical
+// streams; different clients generate different ones.
+func TestKVWorkloadDeterminism(t *testing.T) {
+	cfg := DefaultKVConfig()
+	a := NewKV(3, cfg)
+	b := NewKV(3, cfg)
+	sameOps := 0
+	for i := 0; i < 200; i++ {
+		opA, opB := a.Stream(1).Next(), b.Stream(1).Next()
+		if opA.Kind != opB.Kind || opA.Key != opB.Key || opA.Owner != opB.Owner ||
+			string(opA.Value) != string(opB.Value) {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, opA, opB)
+		}
+		opC := a.Stream(2).Next()
+		if opA.Kind == opC.Kind && opA.Key == opC.Key && string(opA.Value) == string(opC.Value) {
+			sameOps++
+		}
+	}
+	if sameOps == 200 {
+		t.Fatal("distinct clients generated identical streams")
+	}
+}
+
+// TestKVWorkloadMix checks the generated mix: fractions roughly honored,
+// owners valid, put values globally unique and of the configured size.
+func TestKVWorkloadMix(t *testing.T) {
+	const n, ops = 4, 2000
+	cfg := KVConfig{Keys: 16, ValueSize: 64, ReadFraction: 0.6, CrossReadFraction: 0.5, DeleteFraction: 0.1, Seed: 9}
+	w := NewKV(n, cfg)
+	counts := map[KVOpKind]int{}
+	seen := map[string]bool{}
+	for c := 0; c < n; c++ {
+		s := w.Stream(c)
+		for i := 0; i < ops; i++ {
+			op := s.Next()
+			counts[op.Kind]++
+			switch op.Kind {
+			case KVGetFrom:
+				if op.Owner == c || op.Owner < 0 || op.Owner >= n {
+					t.Fatalf("GetFrom owner %d invalid for client %d", op.Owner, c)
+				}
+			case KVPut:
+				if len(op.Value) != cfg.ValueSize {
+					t.Fatalf("put value size %d, want %d", len(op.Value), cfg.ValueSize)
+				}
+				if seen[string(op.Value)] {
+					t.Fatalf("duplicate put value %q", op.Value[:20])
+				}
+				seen[string(op.Value)] = true
+			case KVGet, KVDelete:
+				if op.Owner != c {
+					t.Fatalf("%v owner %d, want self %d", op.Kind, op.Owner, c)
+				}
+			default:
+				t.Fatalf("invalid kind %v", op.Kind)
+			}
+			if len(op.Key) == 0 {
+				t.Fatal("empty key generated")
+			}
+		}
+	}
+	total := float64(n * ops)
+	reads := float64(counts[KVGet] + counts[KVGetFrom])
+	if f := reads / total; f < 0.55 || f > 0.65 {
+		t.Fatalf("read fraction %.3f, want ~0.6", f)
+	}
+	if f := float64(counts[KVGetFrom]) / reads; f < 0.42 || f > 0.58 {
+		t.Fatalf("cross-read fraction %.3f, want ~0.5", f)
+	}
+	if f := float64(counts[KVDelete]) / total; f < 0.07 || f > 0.13 {
+		t.Fatalf("delete fraction %.3f, want ~0.1", f)
+	}
+}
+
+// TestKVWorkloadZipf: skewed key selection concentrates on low-index
+// keys.
+func TestKVWorkloadZipf(t *testing.T) {
+	w := NewKV(1, KVConfig{Keys: 64, ValueSize: 16, ReadFraction: 1, ZipfS: 1.5, Seed: 3})
+	s := w.Stream(0)
+	hot := 0
+	for i := 0; i < 1000; i++ {
+		if s.Next().Key <= "key-000003" {
+			hot++
+		}
+	}
+	if hot < 500 {
+		t.Fatalf("zipf skew too weak: %d/1000 ops on the 4 hottest keys", hot)
+	}
+}
