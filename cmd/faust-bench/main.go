@@ -122,9 +122,15 @@ func writeJSON(path string) error {
 	return f.Close()
 }
 
+// quick trims the heavyweight experiments (E19's 10k-key sweep) for CI
+// smoke runs.
+var quick bool
+
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment names (default: all)")
 	jsonFlag := flag.String("json", "", "append machine-readable results to this file (one JSON record per row)")
+	benchOut := flag.String("bench-out", "", "append this run's records to a trajectory file (conventionally BENCH_kv.json) tracked across PRs; may be combined with -json")
+	flag.BoolVar(&quick, "quick", false, "trim heavyweight sweeps (CI smoke mode)")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -141,6 +147,7 @@ func main() {
 		{"throughput", "E16: concurrent multi-client throughput, in-memory vs group-commit WAL", expThroughput},
 		{"multishard", "E17: multi-tenant shard scaling over TCP vs the single-dispatcher baseline", expMultiShard},
 		{"kv", "E18: authenticated KV layer — value-size and key-count sweeps, cache ablation", expKV},
+		{"kvtree", "E19: O(log n) directories — Put/GetFrom cost vs key count, Merkle tree vs flat ablation", expKVTree},
 	}
 
 	want := map[string]bool{}
@@ -157,11 +164,14 @@ func main() {
 		e.run()
 	}
 	fmt.Println()
-	if *jsonFlag != "" {
-		if err := writeJSON(*jsonFlag); err != nil {
+	for _, path := range []string{*jsonFlag, *benchOut} {
+		if path == "" {
+			continue
+		}
+		if err := writeJSON(path); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %d benchmark records to %s\n", len(results), *jsonFlag)
+		fmt.Printf("wrote %d benchmark records to %s\n", len(results), path)
 	}
 }
 
@@ -929,36 +939,40 @@ func expKV() {
 	}
 
 	// Part 2: key-count sweep at 256-byte values — the per-put directory
-	// cost.
+	// cost, now O(log n) path uploads instead of the old O(n) blob
+	// (E19 sweeps this head-to-head against the flat ablation).
 	fmt.Printf("\nkey-count sweep (256 B values):\n")
 	fmt.Printf("%-10s %12s %16s\n", "keys", "put/s", "dir bytes/put")
 	for _, nk := range []int{16, 256, 1024} {
 		owner, _, stop := newKVPair(64 << 10)
-		// Fill the namespace, then measure steady-state overwrites
-		// (values pre-generated; see above).
-		for i := 0; i < nk; i++ {
-			if err := owner.Put(fmt.Sprintf("key-%06d", i), value(256, i)); err != nil {
-				fail(err)
-			}
+		// Fill the namespace (one batched commit), then measure
+		// steady-state overwrites (values pre-generated; see above).
+		items := make([]kv.Item, nk)
+		for i := range items {
+			items[i] = kv.Item{Key: workload.KeyName(i), Value: value(256, i)}
+		}
+		if err := owner.PutBatch(items); err != nil {
+			fail(err)
 		}
 		const overwrites = 50
 		ovalues := make([][]byte, overwrites)
 		for i := range ovalues {
 			ovalues[i] = value(256, nk+i)
 		}
+		before := owner.Stats()
 		d := measured(fmt.Sprintf("kv/put-keys/keys=%d", nk), 2, overwrites, func() {
 			for i := 0; i < overwrites; i++ {
-				if err := owner.Put(fmt.Sprintf("key-%06d", i%nk), ovalues[i]); err != nil {
+				if err := owner.Put(workload.KeyName(i%nk), ovalues[i]); err != nil {
 					fail(err)
 				}
 			}
 		})
+		after := owner.Stats()
 		stop()
-		// The directory blob re-uploaded by every put grows with the
-		// namespace; report its per-put size from the codec's own
-		// accounting.
-		fmt.Printf("%-10d %12.0f %16d\n", nk, overwrites/d.Seconds(),
-			nk*kv.EncodedEntrySize(len("key-000000"), 1))
+		// Directory cost per put = uploaded bytes minus the 256-byte
+		// value chunk, measured from the store's own traffic counters.
+		dirBytes := (after.BlobPutBytes-before.BlobPutBytes)/overwrites - 256
+		fmt.Printf("%-10d %12.0f %16d\n", nk, overwrites/d.Seconds(), dirBytes)
 	}
 
 	// Part 3: mixed workload across 4 clients.
@@ -1023,6 +1037,117 @@ func expKV() {
 	})
 	fmt.Printf("\nmixed workload (%d clients, 70%% reads, 25%% cross-namespace): %.0f ops/sec\n",
 		m, float64(m*mixedOps)/d.Seconds())
+}
+
+// expKVTree is E19: the scaling claim of the Merkle-tree directory. The
+// same KV code runs in two configurations — the default B+-tree fanout,
+// and an effectively unbounded fanout that keeps the whole namespace in
+// one leaf, which is byte-for-byte the old flat-directory design — over
+// namespaces of growing key count. For each, it measures steady-state
+// Put (chunk + dirty-path upload + root commit) and cold cross-client
+// GetFrom (register read + full verified path, node cache disabled), in
+// ns/op and blob bytes/op. Tree costs must grow sublinearly (O(log n)
+// path) while flat costs grow linearly (O(n) directory per op); the
+// acceptance bar is >=5x on both metrics at 10k keys.
+func expKVTree() {
+	keyCounts := []int{100, 1000, 10000}
+	if quick {
+		keyCounts = []int{100, 1000}
+	}
+	const valueSize = 32
+	const ops = 40
+
+	type cost struct {
+		putNs, putBytes float64
+		getNs, getBytes float64
+	}
+	run := func(mode string, nk int, opts ...kv.Option) cost {
+		const n = 2
+		ring, signers := crypto.NewTestKeyring(n, 19)
+		nw := transport.NewNetwork(n, ustor.NewServer(n), transport.WithBlobStore(transport.NewMemBlobs()))
+		defer nw.Stop()
+		open := func(i int, extra ...kv.Option) *kv.Store {
+			ch, err := nw.BlobChannel()
+			if err != nil {
+				fail(err)
+			}
+			st, err := kv.Open(ustor.NewClient(i, ring, signers[i], nw.ClientLink(i)), ch,
+				append(append([]kv.Option(nil), opts...), extra...)...)
+			if err != nil {
+				fail(err)
+			}
+			return st
+		}
+		mkValue := func(tag string, i int) []byte {
+			v := make([]byte, valueSize)
+			copy(v, fmt.Sprintf("%s-%06d|", tag, i))
+			return v
+		}
+		owner := open(0)
+		items := make([]kv.Item, nk)
+		for i := range items {
+			items[i] = kv.Item{Key: workload.KeyName(i), Value: mkValue("v", i)}
+		}
+		if err := owner.PutBatch(items); err != nil {
+			fail(err)
+		}
+		// Overwrite values pre-generated so the measured region times the
+		// KV layer, not the byte generator.
+		ovalues := make([][]byte, ops)
+		for i := range ovalues {
+			ovalues[i] = mkValue("w", nk+i)
+		}
+
+		var c cost
+		before := owner.Stats()
+		putD := measured(fmt.Sprintf("kvtree/put/mode=%s/keys=%d", mode, nk), nk, ops, func() {
+			for i := 0; i < ops; i++ {
+				if err := owner.Put(workload.KeyName((i*37)%nk), ovalues[i]); err != nil {
+					fail(err)
+				}
+			}
+		})
+		after := owner.Stats()
+		c.putNs = float64(putD.Nanoseconds()) / ops
+		c.putBytes = float64(after.BlobPutBytes+after.BlobGetBytes-before.BlobPutBytes-before.BlobGetBytes) / ops
+		recordValue(fmt.Sprintf("kvtree/put-bytes/mode=%s/keys=%d", mode, nk), nk, c.putBytes, "bytes/op")
+
+		// Cold authenticated point reads: the reader's node cache is
+		// disabled so every GetFrom fetches and verifies its full path —
+		// the per-read cost a cache can only amortize, not remove.
+		reader := open(1, kv.WithNodeCacheBudget(0))
+		before = reader.Stats()
+		getD := measured(fmt.Sprintf("kvtree/getfrom/mode=%s/keys=%d", mode, nk), nk, ops, func() {
+			for i := 0; i < ops; i++ {
+				if _, err := reader.GetFrom(0, workload.KeyName((i*41)%nk)); err != nil {
+					fail(err)
+				}
+			}
+		})
+		after = reader.Stats()
+		c.getNs = float64(getD.Nanoseconds()) / ops
+		c.getBytes = float64(after.BlobGetBytes-before.BlobGetBytes) / ops
+		recordValue(fmt.Sprintf("kvtree/getfrom-bytes/mode=%s/keys=%d", mode, nk), nk, c.getBytes, "bytes/op")
+		return c
+	}
+
+	fmt.Printf("(%d-byte values, %d ops per cell; flat = unbounded fanout ablation, tree = default fanout %d;\n"+
+		" reader node cache disabled — cold verified point reads)\n", valueSize, ops, kv.DefaultLeafFanout)
+	for _, nk := range keyCounts {
+		flat := run("flat", nk, kv.WithTreeFanout(1<<20, 1<<20))
+		tree := run("tree", nk)
+		if nk == keyCounts[0] {
+			fmt.Printf("%-8s %-6s | %12s %12s %9s | %14s %14s %9s\n",
+				"keys", "mode", "put us/op", "put KB/op", "", "getfrom us/op", "getfrom KB/op", "")
+		}
+		fmt.Printf("%-8d %-6s | %12.1f %12.2f %9s | %14.1f %14.2f %9s\n",
+			nk, "flat", flat.putNs/1e3, flat.putBytes/1024, "", flat.getNs/1e3, flat.getBytes/1024, "")
+		fmt.Printf("%-8d %-6s | %12.1f %12.2f %8.1fx | %14.1f %14.2f %8.1fx\n",
+			nk, "tree", tree.putNs/1e3, tree.putBytes/1024, flat.putNs/tree.putNs,
+			tree.getNs/1e3, tree.getBytes/1024, flat.getNs/tree.getNs)
+		fmt.Printf("%-8s %-6s | %25s %8.1fx | %29s %8.1fx   (bytes)\n",
+			"", "", "", flat.putBytes/tree.putBytes, "", flat.getBytes/tree.getBytes)
+	}
 }
 
 // fmtSize renders a byte count compactly for the E18 table.

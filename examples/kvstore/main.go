@@ -73,13 +73,14 @@ func honest() {
 
 	// A large value: 40 KiB splits into ten 4 KiB content-addressed
 	// chunks, uploaded over the bulk channel — the register only ever
-	// carries the directory's Merkle root record.
+	// carries the root record naming the directory tree's root hash.
 	large := bytes.Repeat([]byte("0123456789abcdef"), 2560)
 	must(alice.Put("dataset", large))
 	fmt.Printf("alice's namespace: %v (root %x...)\n", alice.Keys(), alice.Root()[:8])
 
 	// Bob reads with full authentication: ReadX of alice's register,
-	// then directory + chunks fetched and verified against her root.
+	// then the tree path + chunks fetched, each node hash-checked
+	// against the reference that named it.
 	v, err := bob.GetFrom(0, "motd")
 	must(err)
 	fmt.Printf("bob GetFrom(alice, motd) = %q\n", v)
@@ -87,8 +88,9 @@ func honest() {
 	must(err)
 	fmt.Printf("bob GetFrom(alice, dataset) = %d bytes, intact=%v\n", len(v), bytes.Equal(v, large))
 
-	// Repeat read: the directory is unchanged and every chunk is in the
-	// validating cache — one register round trip, zero blob traffic.
+	// Repeat read: the root is unchanged, so the tree path comes from
+	// the node cache and every chunk from the validating chunk cache —
+	// one register round trip, zero blob traffic.
 	before := bob.Stats()
 	_, err = bob.GetFrom(0, "dataset")
 	must(err)

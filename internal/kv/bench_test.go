@@ -1,0 +1,76 @@
+package kv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"faust/internal/crypto"
+	"faust/internal/kv"
+	"faust/internal/transport"
+	"faust/internal/ustor"
+	"faust/internal/workload"
+)
+
+// benchPair builds an owner/reader store pair over the in-memory
+// transport with nkeys prefilled (PutBatch: one commit) and returns them
+// plus a cleanup func. The reader's node cache is disabled so every
+// GetFrom pays its full O(log n) path — the cost the benchmark tracks.
+func benchPair(b *testing.B, nkeys int, opts ...kv.Option) (owner, reader *kv.Store, stop func()) {
+	b.Helper()
+	const n = 2
+	ring, signers := crypto.NewTestKeyring(n, 42)
+	nw := transport.NewNetwork(n, ustor.NewServer(n), transport.WithBlobStore(transport.NewMemBlobs()))
+	open := func(i int, extra ...kv.Option) *kv.Store {
+		ch, err := nw.BlobChannel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := kv.Open(ustor.NewClient(i, ring, signers[i], nw.ClientLink(i)), ch, append(append([]kv.Option(nil), opts...), extra...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	owner = open(0)
+	items := make([]kv.Item, nkeys)
+	for i := range items {
+		items[i] = kv.Item{Key: workload.KeyName(i), Value: []byte(fmt.Sprintf("value-%06d", i))}
+	}
+	if err := owner.PutBatch(items); err != nil {
+		b.Fatal(err)
+	}
+	reader = open(1, kv.WithNodeCacheBudget(0))
+	return owner, reader, nw.Stop
+}
+
+// BenchmarkKVPut measures steady-state overwrites into a 1024-key
+// namespace: chunk upload + O(log n) dirty-path upload + root commit.
+func BenchmarkKVPut(b *testing.B) {
+	const nkeys = 1024
+	owner, _, stop := benchPair(b, nkeys)
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := workload.KeyName(i % nkeys)
+		if err := owner.Put(key, []byte(fmt.Sprintf("overwrite-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKVGetFrom measures authenticated cross-client point reads of
+// a 1024-key namespace with the node cache disabled: one register round
+// trip + a full verified root-to-leaf path + chunk fetch per op.
+func BenchmarkKVGetFrom(b *testing.B) {
+	const nkeys = 1024
+	_, reader, stop := benchPair(b, nkeys)
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reader.GetFrom(0, workload.KeyName(i%nkeys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

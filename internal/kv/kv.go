@@ -3,14 +3,20 @@
 //
 // Each client owns one fail-aware register (package ustor). Instead of a
 // single opaque value, the register holds a small ROOT RECORD — the
-// Merkle root and content hash of the client's key→value DIRECTORY plus
-// some counts — while the directory itself and all value chunks travel
-// over the transport's bulk blob channel as content-addressed blobs.
+// content hash of the root node of the client's directory TREE plus
+// counts — while the tree nodes and all value chunks travel over the
+// transport's bulk blob channel as content-addressed blobs. The tree is
+// a Merkle B+-tree (see tree.go): a mutation re-uploads only the
+// root-to-leaf path it touched, and a cross-client point read fetches
+// and verifies only the nodes it traverses — O(log n) small blobs per
+// operation where the flat-directory design moved all n entries.
 // Because the root record rides on WriteX/ReadX, every Get/Put/Delete
 // inherits the protocol's guarantees end to end:
 //
-//   - integrity: a tampered chunk or directory blob fails its content
-//     hash or Merkle check and the operation errors out;
+//   - integrity: a tampered chunk or tree node fails its content hash
+//     check (every node is fetched by the hash its parent — or the root
+//     record — committed) and the operation errors out before any value
+//     byte is returned;
 //   - fail-awareness: a forking or rolling-back server trips the usual
 //     Algorithm 1 checks during the register read/write, the client
 //     outputs fail and halts — through the KV API;
@@ -18,11 +24,14 @@
 //     namespace (the root record is covered by the owner's signatures).
 //
 // Values larger than the chunk size are split into content-addressed
-// chunks, deduplicated against previously uploaded ones. A validating
-// client cache (content-hash-checked on every use) serves repeated reads
-// without bulk transfers, and CachedGetFrom serves them with no server
-// round trip at all as long as the client's observed version of the
-// owner's register is unchanged.
+// chunks, deduplicated against previously uploaded ones. Chunk and node
+// fetches run with bounded parallelism over the blob channel, which
+// pipelines them on one connection. A validating client cache
+// (content-hash-checked on every use) serves repeated chunk reads
+// without bulk transfers, verified tree nodes are reused while the
+// owner's root is unchanged, and CachedGetFrom serves repeated reads
+// with no server round trip at all as long as the client's observed
+// version of the owner's register is unchanged.
 package kv
 
 import (
@@ -41,16 +50,19 @@ import (
 // one chunk cost exactly one blob round trip.
 const DefaultChunkSize = 64 << 10
 
+// DefaultFetchParallelism bounds how many chunk or tree-node fetches a
+// single operation keeps in flight on the blob channel.
+const DefaultFetchParallelism = 8
+
 // ErrNotFound is returned when a key is absent from the namespace.
 var ErrNotFound = errors.New("kv: key not found")
 
-// ErrNamespaceFull is returned by Put when the updated directory would
-// exceed the blob channel's transfer limit (see Put's capacity note).
-var ErrNamespaceFull = errors.New("kv: namespace too large (encoded directory exceeds the blob size limit)")
-
 // Register is the slice of the ustor client the KV layer drives:
 // extended reads and writes on fail-aware registers plus version
-// introspection. *ustor.Client implements it.
+// introspection. *ustor.Client implements it. Implementations must be
+// safe for concurrent use (ustor.Client serializes operations
+// internally); the KV layer issues register calls without holding its
+// own locks so blob traffic never queues behind a register round trip.
 type Register interface {
 	ID() int
 	N() int
@@ -66,14 +78,19 @@ var _ Register = (*ustor.Client)(nil)
 
 // Stats counts the store's traffic split by path. Round trips through
 // the register (server dispatcher) and through the bulk blob channel are
-// tracked separately; cache hits explain their absence.
+// tracked separately; cache hits explain their absence. The byte
+// counters cover blob payloads only (chunks and tree nodes), which is
+// what grows with namespace and value size — register records are
+// constant-size.
 type Stats struct {
 	RegisterReads  int64 // ReadX round trips
 	RegisterWrites int64 // WriteX round trips
-	BlobPuts       int64 // chunk + directory uploads
-	BlobGets       int64 // chunk + directory downloads
+	BlobPuts       int64 // chunk + tree-node uploads
+	BlobGets       int64 // chunk + tree-node downloads
+	BlobPutBytes   int64 // payload bytes uploaded
+	BlobGetBytes   int64 // payload bytes downloaded
 	ChunkCacheHits int64 // chunk fetches served from the validating cache
-	DirCacheHits   int64 // directory fetches avoided (unchanged root)
+	NodeCacheHits  int64 // tree-node fetches served from the node cache
 	ValueCacheHits int64 // CachedGetFrom served entirely locally
 }
 
@@ -95,12 +112,53 @@ func WithChunkCacheBudget(n int) Option {
 	return func(s *Store) { s.chunkBudget = n }
 }
 
+// WithNodeCacheBudget bounds the bytes (encoded size) of verified tree
+// nodes kept for reuse across reads (default 16 MiB). Zero disables node
+// caching, making every remote read fetch its full path — the cold-read
+// configuration the E19 experiment measures.
+func WithNodeCacheBudget(n int) Option {
+	return func(s *Store) { s.nodeBudget = n }
+}
+
 // WithValueCacheBudget bounds the bytes CachedGetFrom's assembled-value
 // cache may hold (default 64 MiB), independent of the chunk cache's
 // budget. Zero disables value caching (CachedGetFrom then always falls
 // through to GetFrom).
 func WithValueCacheBudget(n int) Option {
 	return func(s *Store) { s.valBudget = n }
+}
+
+// WithTreeFanout sets the directory tree's node widths: a leaf splits
+// beyond leaf entries, an interior node beyond interior children
+// (defaults DefaultLeafFanout, DefaultInteriorFanout; minimum 2 each).
+// Small fanouts make deep trees for tests; an effectively unbounded
+// fanout keeps the whole namespace in one leaf, reproducing the flat
+// directory design as an ablation baseline.
+func WithTreeFanout(leaf, interior int) Option {
+	return func(s *Store) {
+		if leaf >= 2 {
+			s.shape.leafMax = leaf
+		}
+		if interior >= 2 {
+			s.shape.intMax = interior
+		}
+	}
+}
+
+// WithFetchParallelism bounds the concurrent blob fetches/uploads a
+// single operation issues (default DefaultFetchParallelism; minimum 1).
+func WithFetchParallelism(n int) Option {
+	return func(s *Store) {
+		if n >= 1 {
+			s.fetchPar = n
+		}
+	}
+}
+
+// Item is one key/value pair for PutBatch.
+type Item struct {
+	Key   string
+	Value []byte
 }
 
 // cachedValue is one fully assembled remote value in the value cache.
@@ -110,34 +168,32 @@ type cachedValue struct {
 	ownerT int64  // owner register timestamp the value was read at
 }
 
-// remoteDir caches another client's verified directory together with
-// the facts it was verified against, so a cache hit can re-check a new
-// root record's Merkle root and metadata without re-hashing anything.
-type remoteDir struct {
-	dirHash    []byte
-	root       []byte // the directory's Merkle root, computed at verify time
-	numEntries uint32
-	totalBytes int64
-	dir        *directory
-}
-
 // Store is one client's view of the KV namespace: read-write for its own
 // keys, read-only (Get*From) for every other client's. Safe for
-// concurrent use; operations serialize like the underlying register
-// client's.
+// concurrent use. Writers (Put/PutBatch/Delete) serialize with each
+// other; reads run concurrently with them and with each other — the
+// mutex guards only in-memory state, never a network round trip, so
+// blob transfers from different operations overlap on the pipelined
+// channel.
 type Store struct {
 	reg         Register
 	blobs       transport.BlobChannel
 	chunkSize   int
 	chunkBudget int
+	nodeBudget  int
 	valBudget   int
+	fetchPar    int
+	shape       treeShape
+
+	wmu sync.Mutex // serializes mutations of the own namespace
 
 	mu         sync.Mutex
-	dir        directory // own namespace, authoritative (single writer)
-	gen        uint64    // own mutation counter, persisted in the root record
+	root       *node  // own directory tree, authoritative (single writer); nil = empty
+	gen        uint64 // own mutation counter, persisted in the root record
 	chunkCache map[string][]byte
 	chunkBytes int
-	dirCache   map[int]*remoteDir
+	nodeCache  map[string]*node // verified, immutable tree nodes by content hash
+	nodeBytes  int
 	valCache   map[int]map[string]*cachedValue
 	valBytes   int
 	stats      Stats
@@ -145,18 +201,21 @@ type Store struct {
 
 // Open creates the store and bootstraps the own namespace from the
 // register: a never-written register (nil value — see ustor.Client.Read)
-// starts the empty directory; an existing root record is fetched and
-// verified so a client resuming within a process continues its
-// namespace.
+// starts the empty directory; an existing root record is fetched and the
+// whole tree loaded and verified so a client resuming within a process
+// continues its namespace.
 func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, error) {
 	s := &Store{
 		reg:         reg,
 		blobs:       blobs,
 		chunkSize:   DefaultChunkSize,
 		chunkBudget: 64 << 20,
+		nodeBudget:  16 << 20,
 		valBudget:   64 << 20,
+		fetchPar:    DefaultFetchParallelism,
+		shape:       treeShape{leafMax: DefaultLeafFanout, intMax: DefaultInteriorFanout},
 		chunkCache:  make(map[string][]byte),
-		dirCache:    make(map[int]*remoteDir),
+		nodeCache:   make(map[string]*node),
 		valCache:    make(map[int]map[string]*cachedValue),
 	}
 	for _, o := range opts {
@@ -172,11 +231,11 @@ func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, er
 		if err != nil {
 			return nil, fmt.Errorf("kv: own register: %w", err)
 		}
-		d, err := s.fetchDirectory(rr)
+		root, err := s.loadTree(rr)
 		if err != nil {
 			return nil, fmt.Errorf("kv: recovering own directory: %w", err)
 		}
-		s.dir = *d
+		s.root = root
 		s.gen = rr.Gen
 	}
 	return s, nil
@@ -192,191 +251,301 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
-// Root returns the current Merkle root of the own directory.
+// Root returns the current root hash of the own directory tree (the
+// fixed empty-tree hash for an empty namespace).
 func (s *Store) Root() []byte {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dir.merkleRoot()
+	root := s.root
+	s.mu.Unlock()
+	if root == nil {
+		return append([]byte(nil), emptyTreeRoot...)
+	}
+	return append([]byte(nil), root.hash...)
 }
 
 // Len returns the number of keys in the own namespace.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.dir.entries)
+	if s.root == nil {
+		return 0
+	}
+	return int(s.root.count())
+}
+
+// Height returns the number of levels of the own directory tree (0 for
+// an empty namespace). Exposed for benchmarks and introspection.
+func (s *Store) Height() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(treeHeight(s.root))
 }
 
 // Keys returns the own namespace's keys in sorted order.
 func (s *Store) Keys() []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dir.keys()
+	root := s.root
+	s.mu.Unlock()
+	return treeKeys(root, nil)
 }
 
 // Put stores value under key in the own namespace: chunks are uploaded
-// (deduplicated against the cache), the updated directory is uploaded,
+// (deduplicated against the cache), the dirty tree path is uploaded,
 // and the new root record is committed through the fail-aware register.
-// The value may be empty; nil is stored as empty.
-//
-// Capacity: the whole directory travels as one blob, so a namespace is
-// bounded by transport.MaxBlobSize worth of encoded entries (roughly
-// 50+keylen bytes per single-chunk entry, plus 32 per extra chunk —
-// on the order of 10^5 keys). A Put that would push the directory over
-// the limit fails with ErrNamespaceFull and leaves the namespace
-// unchanged.
+// The value may be empty; nil is stored as empty. A failed Put leaves
+// the namespace unchanged (the previous tree is immutable; rollback is
+// dropping the new root, an O(1) pointer discard).
 func (s *Store) Put(key string, value []byte) error {
-	if err := validKey(key); err != nil {
-		return err
+	return s.PutBatch([]Item{{Key: key, Value: value}})
+}
+
+// PutBatch stores several key/value pairs in one commit: one tree
+// rebuild, one root-record write, chunk uploads deduplicated and issued
+// with bounded parallelism. Later items win on duplicate keys. The
+// batch is atomic — either the single commit publishes every pair or
+// the namespace is unchanged.
+func (s *Store) PutBatch(items []Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	// Validate everything BEFORE any byte leaves the client: an
+	// oversized entry would commit state every reader — and the owner's
+	// own next bootstrap — rejects as malformed.
+	for i := range items {
+		if err := validKey(items[i].Key); err != nil {
+			return err
+		}
+		nchunks := (len(items[i].Value) + s.chunkSize - 1) / s.chunkSize
+		if nchunks > maxChunksPerValue {
+			return fmt.Errorf("kv: value of %d bytes needs %d chunks, limit %d (raise the chunk size)",
+				len(items[i].Value), nchunks, maxChunksPerValue)
+		}
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+
+	// Chunk every value (hashing outside any lock), then collect the
+	// chunks the cache doesn't already know, deduplicated across items.
+	entries := make([]entry, len(items))
+	type pendingChunk struct{ hash, data []byte }
+	var uploads []pendingChunk
+	seen := make(map[string]struct{})
+	for i := range items {
+		v := items[i].Value
+		e := entry{Key: items[i].Key, Size: int64(len(v))}
+		for off := 0; off < len(v); off += s.chunkSize {
+			end := off + s.chunkSize
+			if end > len(v) {
+				end = len(v)
+			}
+			chunk := v[off:end]
+			h := crypto.Hash(chunk)
+			e.Chunks = append(e.Chunks, h)
+			if _, dup := seen[string(h)]; !dup {
+				seen[string(h)] = struct{}{}
+				uploads = append(uploads, pendingChunk{hash: h, data: chunk})
+			}
+		}
+		entries[i] = e
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	// Capacity checks BEFORE any chunk leaves the client: the chunk
-	// count must stay decodable (an oversized entry would commit a root
-	// record every reader — and the owner's own next bootstrap —
-	// rejects as malformed), and the updated directory must still fit
-	// the blob channel. Both are computable up front, so a doomed Put
-	// uploads nothing.
-	nchunks := (len(value) + s.chunkSize - 1) / s.chunkSize
-	if nchunks > maxChunksPerValue {
-		return fmt.Errorf("kv: value of %d bytes needs %d chunks, limit %d (raise the chunk size)",
-			len(value), nchunks, maxChunksPerValue)
-	}
-	projected := encodedDirSize(&s.dir) + encodedEntrySize(key, nchunks)
-	if i, ok := s.dir.find(key); ok {
-		projected -= encodedEntrySize(key, len(s.dir.entries[i].Chunks))
-	}
-	if projected > transport.MaxBlobSize {
-		return ErrNamespaceFull
-	}
-
-	e := entry{Key: key, Size: int64(len(value))}
-	for off := 0; off < len(value); off += s.chunkSize {
-		end := off + s.chunkSize
-		if end > len(value) {
-			end = len(value)
+	missing := uploads[:0]
+	for _, u := range uploads {
+		if _, ok := s.chunkCache[string(u.hash)]; !ok {
+			missing = append(missing, u)
 		}
-		chunk := value[off:end]
-		h := crypto.Hash(chunk)
-		if _, ok := s.chunkCache[string(h)]; !ok {
-			if err := s.blobs.PutBlob(h, chunk); err != nil {
-				return fmt.Errorf("kv: uploading chunk: %w", err)
-			}
-			s.stats.BlobPuts++
-			s.cacheChunk(h, chunk)
-		}
-		e.Chunks = append(e.Chunks, h)
 	}
-
-	prevEntries := append([]entry(nil), s.dir.entries...)
-	s.dir.put(e)
-	if err := s.commitDirLocked(); err != nil {
-		s.dir.entries = prevEntries
+	s.mu.Unlock()
+	if err := s.forEachParallel(len(missing), func(k int) error {
+		u := missing[k]
+		if err := s.blobs.PutBlob(u.hash, u.data); err != nil {
+			return fmt.Errorf("kv: uploading chunk: %w", err)
+		}
+		s.mu.Lock()
+		s.stats.BlobPuts++
+		s.stats.BlobPutBytes += int64(len(u.data))
+		s.cacheChunk(u.hash, u.data)
+		s.mu.Unlock()
+		return nil
+	}); err != nil {
 		return err
 	}
-	return nil
+
+	// Copy-on-write inserts: the current tree is never modified, so a
+	// commit failure needs no rollback at all.
+	s.mu.Lock()
+	root := s.root
+	s.mu.Unlock()
+	for i := range entries {
+		root = treePut(root, entries[i], s.shape)
+	}
+	return s.commit(root)
 }
 
 // Delete removes key from the own namespace. Deleting an absent key
-// returns ErrNotFound. Chunks are not garbage-collected from the blob
-// store (content addressing makes them harmless; other entries may share
-// them).
+// returns ErrNotFound. Chunks and orphaned tree nodes are not
+// garbage-collected from the blob store (content addressing makes them
+// harmless; other entries or readers may share them).
 func (s *Store) Delete(key string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.dir.find(key); !ok {
+	root := s.root
+	s.mu.Unlock()
+	newRoot, ok := treeDelete(root, key, s.shape)
+	if !ok {
 		return ErrNotFound
 	}
-	prevEntries := append([]entry(nil), s.dir.entries...)
-	s.dir.remove(key)
-	if err := s.commitDirLocked(); err != nil {
-		s.dir.entries = prevEntries
-		return err
-	}
-	return nil
+	return s.commit(newRoot)
 }
 
-// commitDirLocked uploads the current directory blob and writes the new
-// root record through the register. Caller holds s.mu; on error the
-// caller restores the previous entries.
-func (s *Store) commitDirLocked() error {
-	blob := encodeDirectory(&s.dir)
-	if len(blob) > transport.MaxBlobSize {
-		return ErrNamespaceFull
-	}
-	dirHash := crypto.Hash(blob)
-	if err := s.blobs.PutBlob(dirHash, blob); err != nil {
-		return fmt.Errorf("kv: uploading directory: %w", err)
-	}
-	s.stats.BlobPuts++
-	rr := &rootRecord{
-		Gen:        s.gen + 1,
-		NumEntries: uint32(len(s.dir.entries)),
-		TotalBytes: s.dir.totalBytes(),
-		DirHash:    dirHash,
-		Root:       s.dir.merkleRoot(),
+// commit uploads the dirty nodes of newRoot's path (everything without a
+// hash yet, bottom-up) and writes the new root record through the
+// register. Only on success does the in-memory root advance; a failure
+// leaves the previous, still-valid tree in place — O(1) rollback by
+// construction. Caller holds s.wmu.
+func (s *Store) commit(newRoot *node) error {
+	rr := &rootRecord{Gen: s.gen + 1, RootHash: emptyTreeRoot}
+	if newRoot != nil {
+		if err := s.uploadDirty(newRoot); err != nil {
+			return err
+		}
+		rr.NumEntries = newRoot.count()
+		rr.TotalBytes = newRoot.totalBytes()
+		rr.Height = treeHeight(newRoot)
+		rr.RootHash = newRoot.hash
 	}
 	if _, err := s.reg.WriteX(encodeRoot(rr)); err != nil {
 		return fmt.Errorf("kv: committing root record: %w", err)
 	}
-	s.stats.RegisterWrites++
+	s.mu.Lock()
+	s.root = newRoot
 	s.gen = rr.Gen
+	s.stats.RegisterWrites++
+	s.mu.Unlock()
+	return nil
+}
+
+// uploadDirty encodes and uploads every node below n that has no content
+// hash yet (the copy-on-write path of the current mutation), children
+// before parents so interior encodings can name their children's
+// hashes. Within one depth the nodes are independent, so each level is
+// uploaded with bounded parallelism — a bulk PutBatch commit pipelines
+// its sibling subtrees instead of paying one serial round trip per node.
+func (s *Store) uploadDirty(root *node) error {
+	var levels [][]*node
+	var collect func(n *node, depth int)
+	collect = func(n *node, depth int) {
+		if n.hash != nil {
+			return
+		}
+		for len(levels) <= depth {
+			levels = append(levels, nil)
+		}
+		levels[depth] = append(levels[depth], n)
+		if !n.leaf {
+			for i := range n.children {
+				if n.children[i].hash == nil {
+					collect(n.children[i].child, depth+1)
+				}
+			}
+		}
+	}
+	collect(root, 0)
+	for d := len(levels) - 1; d >= 0; d-- {
+		nodes := levels[d]
+		if err := s.forEachParallel(len(nodes), func(k int) error {
+			n := nodes[k]
+			if !n.leaf {
+				// Deeper levels uploaded first: every dirty child has its
+				// hash by now.
+				for i := range n.children {
+					if c := &n.children[i]; c.hash == nil {
+						c.hash = c.child.hash
+					}
+				}
+			}
+			enc := encodeNode(n)
+			h := crypto.Hash(enc)
+			if err := s.blobs.PutBlob(h, enc); err != nil {
+				return fmt.Errorf("kv: uploading tree node: %w", err)
+			}
+			s.mu.Lock()
+			s.stats.BlobPuts++
+			s.stats.BlobPutBytes += int64(len(enc))
+			s.mu.Unlock()
+			n.hash = h
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Get reads a key of the own namespace. The own directory is
 // authoritative (single-writer), so Get costs no register round trip;
 // chunks not in the validating cache are fetched over the blob channel
-// and hash-checked.
+// (in parallel) and hash-checked.
 func (s *Store) Get(key string) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	i, ok := s.dir.find(key)
+	root := s.root
+	s.mu.Unlock()
+	e, ok := treeFind(root, key)
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return s.assembleLocked(&s.dir.entries[i])
+	return s.assemble(e)
 }
 
 // GetFrom reads a key of client j's namespace with full authentication:
-// one ReadX of j's register (fail-aware, fork-detecting), directory and
-// chunk fetches as needed — all verified against the root record. For
-// the own namespace it is equivalent to Get.
+// one ReadX of j's register (fail-aware, fork-detecting), then the tree
+// path and chunk fetches as needed — every fetched node hash-checked
+// against the reference that named it before use. For the own namespace
+// it is equivalent to Get.
 func (s *Store) GetFrom(j int, key string) ([]byte, error) {
 	if j == s.reg.ID() {
 		return s.Get(key)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ownerT, err := s.readDirLocked(j)
+	rr, ownerT, err := s.readRoot(j)
 	if err != nil {
 		return nil, err
 	}
-	i, ok := d.find(key)
-	if !ok {
+	if rr == nil {
+		// Never-written register: the empty namespace (see the empty-read
+		// semantics documented on ustor.Client.Read).
 		return nil, ErrNotFound
 	}
-	value, err := s.assembleLocked(&d.entries[i])
+	e, err := s.remoteFind(rr, key)
 	if err != nil {
 		return nil, err
 	}
+	value, err := s.assemble(e)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.rememberValueLocked(j, key, value, ownerT)
+	s.mu.Unlock()
 	return value, nil
 }
 
-// ListFrom returns the sorted keys of client j's namespace, reading and
-// verifying j's current directory.
+// ListFrom returns the sorted keys of client j's namespace, fetching and
+// verifying every node of j's current directory tree (leaves are where
+// the keys live, so a listing is necessarily O(n); the level-by-level
+// fetches run with bounded parallelism).
 func (s *Store) ListFrom(j int) ([]string, error) {
 	if j == s.reg.ID() {
 		return s.Keys(), nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, _, err := s.readDirLocked(j)
+	rr, _, err := s.readRoot(j)
 	if err != nil {
 		return nil, err
 	}
-	return d.keys(), nil
+	if rr == nil {
+		return nil, nil
+	}
+	return s.remoteKeys(rr)
 }
 
 // CachedGetFrom is GetFrom with register-version-based caching: when the
@@ -409,6 +578,33 @@ func (s *Store) CachedGetFrom(j int, key string) ([]byte, error) {
 	}
 	s.mu.Unlock()
 	return s.GetFrom(j, key)
+}
+
+// readRoot performs the authenticated register read of client j and
+// returns j's current root record (nil for a never-written register)
+// plus the owner timestamp this read observed (MEM[j].T, which
+// Algorithm 1 line 51 pins to V[j] at the moment of the read).
+func (s *Store) readRoot(j int) (*rootRecord, int64, error) {
+	res, err := s.reg.ReadX(j)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: reading register %d: %w", j, err)
+	}
+	s.mu.Lock()
+	s.stats.RegisterReads++
+	s.mu.Unlock()
+	// WriterTimestamp is the owner timestamp of THIS read (line 51 pins
+	// it to V[j] during the operation). Sampling ObservedTimestamp here
+	// instead would race with concurrent operations on the shared
+	// register client and could tag the value newer than it is.
+	ownerT := res.WriterTimestamp
+	if res.Value == nil {
+		return nil, ownerT, nil
+	}
+	rr, err := decodeRoot(res.Value)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kv: register %d: %w", j, err)
+	}
+	return rr, ownerT, nil
 }
 
 // rememberValueLocked stores a remote value in the value cache, tagged
@@ -452,99 +648,309 @@ func (s *Store) rememberValueLocked(j int, key string, value []byte, ownerT int6
 	s.valBytes += len(value)
 }
 
-// readDirLocked performs the authenticated register read of client j and
-// returns j's verified directory plus the owner timestamp this read
-// observed (MEM[j].T, which Algorithm 1 line 51 pins to V[j] at the
-// moment of the read), reusing the cached directory when the root
-// record still names the same blob.
-func (s *Store) readDirLocked(j int) (*directory, int64, error) {
-	res, err := s.reg.ReadX(j)
+// remoteFind walks client j's committed tree from the root record to the
+// leaf responsible for key, fetching each node by the hash its parent
+// declared and validating the declared subtree facts at every step. The
+// root node's totals are checked against the root record, so the
+// metadata a reader reports is pinned to the register-committed hash.
+func (s *Store) remoteFind(rr *rootRecord, key string) (*entry, error) {
+	if rr.NumEntries == 0 {
+		return nil, ErrNotFound
+	}
+	n, err := s.getNode(rr.RootHash)
 	if err != nil {
-		return nil, 0, fmt.Errorf("kv: reading register %d: %w", j, err)
+		return nil, err
 	}
-	s.stats.RegisterReads++
-	// WriterTimestamp is the owner timestamp of THIS read (line 51 pins
-	// it to V[j] during the operation). Sampling ObservedTimestamp here
-	// instead would race with concurrent operations on the shared
-	// register client and could tag the value newer than it is.
-	ownerT := res.WriterTimestamp
-	if res.Value == nil {
-		// Never-written register: the empty namespace (see the empty-read
-		// semantics documented on ustor.Client.Read).
-		return &directory{}, ownerT, nil
+	if n.count() != rr.NumEntries || n.totalBytes() != rr.TotalBytes {
+		return nil, errors.New("kv: directory metadata mismatch")
 	}
-	rr, err := decodeRoot(res.Value)
-	if err != nil {
-		return nil, 0, fmt.Errorf("kv: register %d: %w", j, err)
-	}
-	if rd := s.dirCache[j]; rd != nil && bytes.Equal(rd.dirHash, rr.DirHash) {
-		// A hit still validates the REST of the root record against the
-		// facts recorded at verify time: a record naming a known-good
-		// directory blob but a forged Merkle root (or wrong counts)
-		// must be rejected identically with warm and cold caches.
-		if !bytes.Equal(rd.root, rr.Root) {
-			return nil, 0, errors.New("kv: directory Merkle root mismatch (forged directory)")
+	for depth := uint32(1); ; depth++ {
+		if n.leaf {
+			if depth != rr.Height {
+				return nil, errors.New("kv: tree shape mismatch")
+			}
+			i, ok := findEntry(n.entries, key)
+			if !ok {
+				return nil, ErrNotFound
+			}
+			return &n.entries[i], nil
 		}
-		if rd.numEntries != rr.NumEntries || rd.totalBytes != rr.TotalBytes {
-			return nil, 0, errors.New("kv: directory metadata mismatch")
+		if depth >= rr.Height {
+			return nil, errors.New("kv: tree shape mismatch")
 		}
-		s.stats.DirCacheHits++
-		return rd.dir, ownerT, nil
+		if key < n.children[0].minKey {
+			// The committed separator keys prove absence without
+			// descending further.
+			return nil, ErrNotFound
+		}
+		c := &n.children[childIndex(n.children, key)]
+		child, err := s.getNode(c.hash)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRef(child, c.minKey, c.count, c.bytes); err != nil {
+			return nil, err
+		}
+		n = child
 	}
-	d, err := s.fetchDirectory(rr)
-	if err != nil {
-		return nil, 0, err
-	}
-	s.dirCache[j] = &remoteDir{
-		dirHash:    rr.DirHash,
-		root:       rr.Root,
-		numEntries: rr.NumEntries,
-		totalBytes: rr.TotalBytes,
-		dir:        d,
-	}
-	return d, ownerT, nil
 }
 
-// fetchDirectory downloads and fully verifies the directory blob a root
-// record names.
-func (s *Store) fetchDirectory(rr *rootRecord) (*directory, error) {
-	blob, err := s.blobs.GetBlob(rr.DirHash)
-	if err != nil {
-		return nil, fmt.Errorf("kv: fetching directory blob: %w", err)
+// remoteKeys fetches and verifies client j's whole tree level by level
+// (bounded-parallel fetches) and returns the sorted key list.
+func (s *Store) remoteKeys(rr *rootRecord) ([]string, error) {
+	if rr.NumEntries == 0 {
+		return nil, nil
 	}
+	root, err := s.getNode(rr.RootHash)
+	if err != nil {
+		return nil, err
+	}
+	if root.count() != rr.NumEntries || root.totalBytes() != rr.TotalBytes {
+		return nil, errors.New("kv: directory metadata mismatch")
+	}
+	level := []*node{root}
+	for depth := uint32(1); ; depth++ {
+		if level[0].leaf {
+			if depth != rr.Height {
+				return nil, errors.New("kv: tree shape mismatch")
+			}
+			keys := make([]string, 0, rr.NumEntries)
+			for _, n := range level {
+				if !n.leaf {
+					return nil, errors.New("kv: tree shape mismatch")
+				}
+				for i := range n.entries {
+					keys = append(keys, n.entries[i].Key)
+				}
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i] <= keys[i-1] {
+					return nil, errors.New("kv: directory keys not strictly sorted")
+				}
+			}
+			return keys, nil
+		}
+		if depth >= rr.Height {
+			return nil, errors.New("kv: tree shape mismatch")
+		}
+		var refs []*childRef
+		for _, n := range level {
+			if n.leaf {
+				return nil, errors.New("kv: tree shape mismatch")
+			}
+			for i := range n.children {
+				refs = append(refs, &n.children[i])
+			}
+		}
+		next := make([]*node, len(refs))
+		if err := s.forEachParallel(len(refs), func(k int) error {
+			child, err := s.getNode(refs[k].hash)
+			if err != nil {
+				return err
+			}
+			if err := checkRef(child, refs[k].minKey, refs[k].count, refs[k].bytes); err != nil {
+				return err
+			}
+			next[k] = child
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		level = next
+	}
+}
+
+// loadTree fetches and verifies the owner's entire tree at Open, level
+// by level (so the fetch parallelism stays bounded at fetchPar, never
+// compounding across depths), linking the nodes in memory so later
+// operations run without node fetches. The structure checks are the
+// same every remote read performs. Children are linked on COPIES of the
+// decoded nodes: cached nodes are shared and immutable, the owner tree
+// needs child pointers.
+func (s *Store) loadTree(rr *rootRecord) (*node, error) {
+	if rr.NumEntries == 0 {
+		return nil, nil
+	}
+	root, err := s.loadNodeCopy(rr.RootHash)
+	if err != nil {
+		return nil, err
+	}
+	if root.count() != rr.NumEntries || root.totalBytes() != rr.TotalBytes {
+		return nil, errors.New("kv: directory metadata mismatch")
+	}
+	level := []*node{root}
+	for depth := uint32(1); ; depth++ {
+		if level[0].leaf {
+			if depth != rr.Height {
+				return nil, errors.New("kv: tree shape mismatch")
+			}
+			for _, n := range level {
+				if !n.leaf {
+					return nil, errors.New("kv: tree shape mismatch")
+				}
+			}
+			return root, nil
+		}
+		if depth >= rr.Height {
+			return nil, errors.New("kv: tree shape mismatch")
+		}
+		var refs []*childRef
+		for _, n := range level {
+			if n.leaf {
+				return nil, errors.New("kv: tree shape mismatch")
+			}
+			for i := range n.children {
+				refs = append(refs, &n.children[i])
+			}
+		}
+		next := make([]*node, len(refs))
+		if err := s.forEachParallel(len(refs), func(k int) error {
+			child, err := s.loadNodeCopy(refs[k].hash)
+			if err != nil {
+				return err
+			}
+			if err := checkRef(child, refs[k].minKey, refs[k].count, refs[k].bytes); err != nil {
+				return err
+			}
+			refs[k].child = child // distinct parents' slices: no write overlap
+			next[k] = child
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		level = next
+	}
+}
+
+// loadNodeCopy fetches a verified node and returns a private copy with
+// its hash resolved, safe for the owner tree to link children into.
+func (s *Store) loadNodeCopy(hash []byte) (*node, error) {
+	dn, err := s.getNode(hash)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{leaf: dn.leaf, entries: dn.entries, hash: append([]byte(nil), hash...)}
+	if !dn.leaf {
+		n.children = append([]childRef(nil), dn.children...)
+	}
+	return n, nil
+}
+
+// getNode returns the verified tree node stored under hash, serving from
+// the node cache when possible. A fetched blob is hash-checked against
+// the hash that named it (committed by the parent node or the root
+// record) BEFORE decoding; cache entries were verified the same way at
+// insertion and are immutable afterwards.
+func (s *Store) getNode(hash []byte) (*node, error) {
+	key := string(hash)
+	s.mu.Lock()
+	if n, ok := s.nodeCache[key]; ok {
+		s.stats.NodeCacheHits++
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+	blob, err := s.blobs.GetBlob(hash)
+	if err != nil {
+		return nil, fmt.Errorf("kv: fetching tree node: %w", err)
+	}
+	if !bytes.Equal(crypto.Hash(blob), hash) {
+		return nil, errors.New("kv: tree node digest mismatch (tampered tree node)")
+	}
+	n, err := decodeNode(blob)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.stats.BlobGets++
-	return verifyDirectory(rr, blob)
+	s.stats.BlobGetBytes += int64(len(blob))
+	s.cacheNode(key, n, len(blob))
+	s.mu.Unlock()
+	return n, nil
 }
 
-// assembleLocked reconstructs an entry's value from its chunks, fetching
-// and hash-verifying what the validating cache does not hold. Caller
-// holds s.mu.
-func (s *Store) assembleLocked(e *entry) ([]byte, error) {
-	value := make([]byte, 0, e.Size)
-	for _, h := range e.Chunks {
-		chunk, ok := s.chunkCache[string(h)]
-		if ok && !bytes.Equal(crypto.Hash(chunk), h) {
+// cacheNode stores a verified node under its hash, evicting arbitrary
+// entries when over budget. size is the encoded length, used as the
+// budget unit. A hash already present (two concurrent misses racing) is
+// left alone so the accounting never double-counts. Caller holds s.mu.
+func (s *Store) cacheNode(key string, n *node, size int) {
+	if s.nodeBudget <= 0 || size > s.nodeBudget {
+		return
+	}
+	if _, ok := s.nodeCache[key]; ok {
+		return
+	}
+	for s.nodeBytes+size > s.nodeBudget && len(s.nodeCache) > 0 {
+		for k, old := range s.nodeCache {
+			delete(s.nodeCache, k)
+			if old.leaf {
+				s.nodeBytes -= encodedLeafSize(old.entries)
+			} else {
+				s.nodeBytes -= encodedInteriorSize(old.children)
+			}
+			break
+		}
+	}
+	if s.nodeBytes+size > s.nodeBudget {
+		return
+	}
+	s.nodeCache[key] = n
+	s.nodeBytes += size
+}
+
+// assemble reconstructs an entry's value from its chunks, fetching what
+// the validating cache does not hold with bounded parallelism and
+// hash-verifying every chunk before use.
+func (s *Store) assemble(e *entry) ([]byte, error) {
+	if e.Size == 0 && len(e.Chunks) == 0 {
+		return []byte{}, nil
+	}
+	chunks := make([][]byte, len(e.Chunks))
+	var missing [][]byte            // distinct hashes to fetch, in order
+	missingAt := map[string][]int{} // hash -> every chunk index using it
+	s.mu.Lock()
+	for i, h := range e.Chunks {
+		if cached, ok := s.chunkCache[string(h)]; ok {
+			if bytes.Equal(crypto.Hash(cached), h) {
+				chunks[i] = cached
+				s.stats.ChunkCacheHits++
+				continue
+			}
 			// The validating part of the cache: a corrupted entry is
 			// dropped and refetched rather than served.
 			delete(s.chunkCache, string(h))
-			s.chunkBytes -= len(chunk)
-			ok = false
+			s.chunkBytes -= len(cached)
 		}
-		if ok {
-			s.stats.ChunkCacheHits++
-		} else {
-			fetched, err := s.blobs.GetBlob(h)
-			if err != nil {
-				return nil, fmt.Errorf("kv: fetching chunk: %w", err)
-			}
-			s.stats.BlobGets++
-			if !bytes.Equal(crypto.Hash(fetched), h) {
-				return nil, errors.New("kv: chunk digest mismatch (tampered chunk)")
-			}
-			s.cacheChunk(h, fetched)
-			chunk = fetched
+		if _, dup := missingAt[string(h)]; !dup {
+			missing = append(missing, h)
 		}
-		value = append(value, chunk...)
+		missingAt[string(h)] = append(missingAt[string(h)], i)
+	}
+	s.mu.Unlock()
+	if err := s.forEachParallel(len(missing), func(k int) error {
+		h := missing[k]
+		fetched, err := s.blobs.GetBlob(h)
+		if err != nil {
+			return fmt.Errorf("kv: fetching chunk: %w", err)
+		}
+		if !bytes.Equal(crypto.Hash(fetched), h) {
+			return errors.New("kv: chunk digest mismatch (tampered chunk)")
+		}
+		s.mu.Lock()
+		s.stats.BlobGets++
+		s.stats.BlobGetBytes += int64(len(fetched))
+		s.cacheChunk(h, fetched)
+		s.mu.Unlock()
+		for _, i := range missingAt[string(h)] {
+			chunks[i] = fetched
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	value := make([]byte, 0, e.Size)
+	for _, c := range chunks {
+		value = append(value, c...)
 	}
 	if int64(len(value)) != e.Size {
 		return nil, errors.New("kv: reassembled value size mismatch")
@@ -553,9 +959,14 @@ func (s *Store) assembleLocked(e *entry) ([]byte, error) {
 }
 
 // cacheChunk stores a verified chunk, evicting arbitrary entries when
-// over budget. Caller holds s.mu.
+// over budget. A hash already present is left alone — content
+// addressing guarantees the bytes are identical, and re-inserting would
+// double-count the size. Caller holds s.mu.
 func (s *Store) cacheChunk(hash, chunk []byte) {
 	if s.chunkBudget <= 0 {
+		return
+	}
+	if _, ok := s.chunkCache[string(hash)]; ok {
 		return
 	}
 	for s.chunkBytes+len(chunk) > s.chunkBudget && len(s.chunkCache) > 0 {
@@ -572,14 +983,39 @@ func (s *Store) cacheChunk(hash, chunk []byte) {
 	s.chunkBytes += len(chunk)
 }
 
-// validKey checks the key constraints: non-empty, at most MaxKeyLen
-// bytes.
-func validKey(key string) error {
-	if len(key) == 0 {
-		return errors.New("kv: empty key")
+// forEachParallel runs f(0..n-1) with at most s.fetchPar invocations in
+// flight and returns the first error (after letting started calls
+// finish, so no goroutine outlives the operation).
+func (s *Store) forEachParallel(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
 	}
-	if len(key) > MaxKeyLen {
-		return fmt.Errorf("kv: key of %d bytes exceeds limit %d", len(key), MaxKeyLen)
+	par := s.fetchPar
+	if par > n {
+		par = n
 	}
-	return nil
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, par)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem }()
+			errs <- f(i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

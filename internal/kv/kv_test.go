@@ -196,9 +196,11 @@ func TestTamperedChunkRejected(t *testing.T) {
 }
 
 // TestForgedDirectoryRejected covers acceptance criterion (a), second
-// half, at both layers: a directory blob swapped under its hash (content
-// check) and a root record whose Merkle root does not match the
-// directory it names (Merkle check).
+// half, against the tree encoding: a tree node swapped under its hash
+// (content check), a root record naming a hash the blob store cannot
+// honestly answer, and a root record whose totals disagree with the tree
+// it names (metadata check) — each rejected before any value byte is
+// returned.
 func TestForgedDirectoryRejected(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	owner, reader := cl.stores[0], cl.stores[1]
@@ -211,43 +213,70 @@ func TestForgedDirectoryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// (1) Forged root record: it names the real, consistent directory
-	// blob but carries a wrong Merkle root. The owner itself writes it
-	// (only its signatures validate), modeling a compromised owner
-	// binary that the reader must still not trust blindly.
-	forged := forgedRootRecord(t, cl)
+	// (1) Forged root record: correct counts but a root hash nothing
+	// valid lives under. The owner itself writes it (only its signatures
+	// validate), modeling a compromised owner binary the reader must
+	// still not trust blindly. Planting arbitrary bytes at the forged
+	// hash must not help: the node digest check catches the swap.
+	honest, err := cl.clients[1].ReadX(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), honest.Value...)
+	forged[len(forged)-1] ^= 0xFF // flip a bit of the root hash
+	forgedHash := forged[len(forged)-32:]
+	if err := cl.blobs.PutBlob(forgedHash, []byte("attacker-chosen bytes")); err != nil {
+		t.Fatal(err)
+	}
 	if err := cl.clients[0].Write(forged); err != nil {
 		t.Fatal(err)
 	}
-	// The WARM reader (directory already cached from the honest read)
-	// must reject exactly like a cold one — verification does not
-	// depend on cache state.
-	_, err := reader.GetFrom(0, "k")
-	if err == nil || !strings.Contains(err.Error(), "forged directory") {
-		t.Fatalf("warm-cache reader accepted forged merkle root: %v", err)
+	// The WARM reader (nodes cached from the honest read) must reject
+	// exactly like a cold one — the forged hash names a different node,
+	// so the cache cannot satisfy it.
+	_, err = reader.GetFrom(0, "k")
+	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
+		t.Fatalf("warm-cache reader accepted forged root hash: %v", err)
 	}
 	freshReader := freshStore(t, cl, 1)
 	_, err = freshReader.GetFrom(0, "k")
-	if err == nil || !strings.Contains(err.Error(), "forged directory") {
-		t.Fatalf("forged merkle root not rejected: %v", err)
+	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
+		t.Fatalf("forged root hash not rejected: %v", err)
 	}
 
-	// Restore a correct root record (and a fresh directory blob).
+	// (2) Forged metadata: the record names the real, consistent root
+	// node but claims the wrong entry count. Warm and cold readers must
+	// reject identically — the totals are re-checked on every read.
+	miscounted := append([]byte(nil), honest.Value...)
+	miscounted[13]++ // NumEntries lives at offset 5(magic)+8(gen)
+	if err := cl.clients[0].Write(miscounted); err != nil {
+		t.Fatal(err)
+	}
+	_, err = reader.GetFrom(0, "k")
+	if err == nil || !strings.Contains(err.Error(), "metadata mismatch") {
+		t.Fatalf("warm-cache reader accepted forged metadata: %v", err)
+	}
+	_, err = freshStore(t, cl, 1).GetFrom(0, "k")
+	if err == nil || !strings.Contains(err.Error(), "metadata mismatch") {
+		t.Fatalf("forged metadata not rejected: %v", err)
+	}
+
+	// Restore a correct root record (and fresh tree nodes).
 	if err := owner.Put("k2", []byte("w")); err != nil {
 		t.Fatal(err)
 	}
 
-	// (2) Tamper the directory blob under its content hash — the
+	// (3) Tamper the root tree node under its content hash — the
 	// attacker controls the blob store. A fresh reader (empty caches)
-	// must reject the swap.
-	dirHash := dirHashOfRegister(t, cl, 0)
-	if err := cl.blobs.PutBlob(dirHash, []byte("not the directory")); err != nil {
+	// must reject the swap before returning anything.
+	rootHash := rootHashOfRegister(t, cl, 0)
+	if err := cl.blobs.PutBlob(rootHash, []byte("not the tree node")); err != nil {
 		t.Fatal(err)
 	}
 	freshReader2 := freshStore(t, cl, 1)
 	_, err = freshReader2.GetFrom(0, "k")
-	if err == nil || !strings.Contains(err.Error(), "tampered directory") {
-		t.Fatalf("tampered directory not rejected: %v", err)
+	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
+		t.Fatalf("tampered tree node not rejected: %v", err)
 	}
 }
 
@@ -429,31 +458,17 @@ func freshStore(t *testing.T, cl *cluster, i int) *kv.Store {
 	return st
 }
 
-// dirHashOfRegister extracts the directory hash from client j's current
-// root record (reads with owner index 0's register via reader client 1).
-func dirHashOfRegister(t *testing.T, cl *cluster, j int) []byte {
+// rootHashOfRegister extracts the tree root hash from client j's current
+// root record (read via reader client 1).
+func rootHashOfRegister(t *testing.T, cl *cluster, j int) []byte {
 	t.Helper()
 	res, err := cl.clients[1].ReadX(j)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Root record layout: magic(5) gen(8) entries(4) bytes(8) dirhash(32) root(32).
-	if len(res.Value) != 5+8+4+8+64 {
+	// Root record layout: magic(5) gen(8) entries(4) bytes(8) height(4) roothash(32).
+	if len(res.Value) != 5+8+4+8+4+32 {
 		t.Fatalf("unexpected root record size %d", len(res.Value))
 	}
-	return res.Value[25:57]
-}
-
-// forgedRootRecord builds a root record naming the owner's real current
-// directory blob but carrying a wrong Merkle root.
-func forgedRootRecord(t *testing.T, cl *cluster) []byte {
-	t.Helper()
-	res, err := cl.clients[1].ReadX(0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	forged := append([]byte(nil), res.Value...)
-	// Flip bits in the trailing 32 bytes (the Merkle root).
-	forged[len(forged)-1] ^= 0xFF
-	return forged
+	return res.Value[29:61]
 }

@@ -5,17 +5,20 @@ import (
 	"fmt"
 	"io/fs"
 	"sync"
+	"sync/atomic"
 
 	"faust/internal/wire"
 )
 
 // The bulk blob channel. The KV layer stores large values as
-// content-addressed chunks; moving them through the USTOR request path
-// would serialize bulk transfers behind the shard dispatcher and bloat
-// the O(n) protocol messages. Instead every transport offers a second,
-// independent channel that speaks only wire.BlobPut/BlobGet and talks
-// directly to a BlobStore — concurrent with the dispatcher, one
-// request/response at a time per channel.
+// content-addressed chunks and its directory tree as content-addressed
+// nodes; moving them through the USTOR request path would serialize bulk
+// transfers behind the shard dispatcher and bloat the O(n) protocol
+// messages. Instead every transport offers a second, independent channel
+// that speaks only wire.BlobPut/BlobGet and talks directly to a
+// BlobStore — concurrent with the dispatcher, with many requests in
+// flight per channel (requests carry IDs; responses are matched as they
+// arrive, so a batch of fetches pays one round trip, not one per blob).
 //
 // The channel is deliberately unauthenticated (the server is the
 // untrusted party either way): readers recompute the content hash of
@@ -54,8 +57,10 @@ type BlobStore interface {
 }
 
 // BlobChannel is the client-side handle of the bulk channel.
-// Implementations serialize requests internally; a channel is cheap and a
-// client that wants parallel transfers opens several.
+// Implementations are safe for concurrent use and keep concurrent calls
+// in flight simultaneously — the TCP channel pipelines them over one
+// connection using wire-level request IDs — so a caller that wants
+// parallel transfers simply issues them from several goroutines.
 type BlobChannel interface {
 	PutBlob(hash, data []byte) error
 	GetBlob(hash []byte) ([]byte, error)
@@ -141,7 +146,8 @@ func (b *MemBlobs) Len() int {
 }
 
 // serveBlobMsg executes one decoded blob-channel request against a store
-// and returns the response message. Shared by the TCP connection loop and
+// and returns the response message, echoing the request's ID so a
+// pipelining client can match it. Shared by the TCP connection loop and
 // the in-memory channel.
 func serveBlobMsg(bs BlobStore, m wire.Message) wire.Message {
 	switch req := m.(type) {
@@ -154,21 +160,21 @@ func serveBlobMsg(bs BlobStore, m wire.Message) wire.Message {
 			err = bs.PutBlob(req.Hash, req.Data)
 		}
 		if err != nil {
-			return &wire.BlobAck{Hash: req.Hash, OK: false, Msg: err.Error()}
+			return &wire.BlobAck{ID: req.ID, Hash: req.Hash, OK: false, Msg: err.Error()}
 		}
-		return &wire.BlobAck{Hash: req.Hash, OK: true}
+		return &wire.BlobAck{ID: req.ID, Hash: req.Hash, OK: true}
 	case *wire.BlobGet:
 		data, err := bs.GetBlob(req.Hash)
 		switch {
 		case err == nil:
-			return &wire.BlobData{Hash: req.Hash, Found: true, Data: data}
+			return &wire.BlobData{ID: req.ID, Hash: req.Hash, Found: true, Data: data}
 		case errors.Is(err, fs.ErrNotExist):
-			return &wire.BlobData{Hash: req.Hash, Found: false}
+			return &wire.BlobData{ID: req.ID, Hash: req.Hash, Found: false}
 		default:
 			// A real store failure (I/O error, permissions) must not
 			// masquerade as "not found" — answer with an explicit error
 			// ack so operators and callers can tell the two apart.
-			return &wire.BlobAck{Hash: req.Hash, OK: false, Msg: err.Error()}
+			return &wire.BlobAck{ID: req.ID, Hash: req.Hash, OK: false, Msg: err.Error()}
 		}
 	default:
 		return nil
@@ -176,21 +182,18 @@ func serveBlobMsg(bs BlobStore, m wire.Message) wire.Message {
 }
 
 // memBlobChannel is the memory transport's BlobChannel: requests go
-// straight to the network's store, bypassing the dispatcher — exactly the
-// concurrency the TCP channel has.
+// straight to the network's store, bypassing the dispatcher. Like the
+// TCP channel it keeps concurrent calls in flight simultaneously — the
+// store (required to be concurrency-safe) is the only serialization.
 type memBlobChannel struct {
-	nw     *Network
-	closed sync.Once
-	dead   bool
-	mu     sync.Mutex
+	nw   *Network
+	dead atomic.Bool
 }
 
 var _ BlobChannel = (*memBlobChannel)(nil)
 
 func (c *memBlobChannel) PutBlob(hash, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead {
+	if c.dead.Load() {
 		return ErrClosed
 	}
 	if err := checkBlobSizes(hash, data); err != nil {
@@ -203,9 +206,7 @@ func (c *memBlobChannel) PutBlob(hash, data []byte) error {
 }
 
 func (c *memBlobChannel) GetBlob(hash []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead {
+	if c.dead.Load() {
 		return nil, ErrClosed
 	}
 	data, err := c.nw.blobs.GetBlob(hash)
@@ -219,10 +220,6 @@ func (c *memBlobChannel) GetBlob(hash []byte) ([]byte, error) {
 }
 
 func (c *memBlobChannel) Close() error {
-	c.closed.Do(func() {
-		c.mu.Lock()
-		c.dead = true
-		c.mu.Unlock()
-	})
+	c.dead.Store(true)
 	return nil
 }

@@ -749,7 +749,10 @@ func DialTCPShard(addr, shard string, id int) (Link, error) {
 // TCPServer at addr. The server must host a blob store for the shard (a
 // resolver implementing BlobResolver); otherwise the handshake is
 // rejected with the reason. An empty shard name targets the default
-// shard. The channel serializes requests; open several for parallelism.
+// shard. The channel is safe for concurrent use and pipelines concurrent
+// requests over the one connection: each carries a request ID, responses
+// are matched as they arrive, so a batch of fetches from several
+// goroutines pays one round trip rather than one per blob.
 func DialTCPBlob(addr, shard string) (BlobChannel, error) {
 	if shard == "" {
 		shard = DefaultShard
@@ -782,33 +785,114 @@ func DialTCPBlob(addr, shard string) (BlobChannel, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("transport: server rejected blob channel: %s", ack[1:])
 	}
-	return &tcpBlobChannel{conn: conn}, nil
+	c := &tcpBlobChannel{conn: conn, pending: make(map[uint32]chan wire.Message)}
+	go c.readLoop()
+	return c, nil
 }
 
-// tcpBlobChannel is the client side of one blob-channel connection. One
-// request is in flight at a time (mu covers the send+receive pair).
+// tcpBlobChannel is the client side of one blob-channel connection, with
+// request pipelining: any number of requests may be in flight at once,
+// each tagged with a connection-local ID. A single reader goroutine
+// demultiplexes responses to their waiting callers by ID, so concurrent
+// fetches share the connection without serializing on round trips.
 type tcpBlobChannel struct {
-	mu   sync.Mutex
 	conn net.Conn
-	wmu  sync.Mutex
+	wmu  sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan wire.Message // in-flight requests by ID
+	err     error                        // sticky; set once the reader dies
 }
 
 var _ BlobChannel = (*tcpBlobChannel)(nil)
 
-// roundTrip sends one request and reads its response.
-func (c *tcpBlobChannel) roundTrip(req wire.Message) (wire.Message, error) {
+// readLoop is the demultiplexer: it reads response frames until the
+// connection dies and hands each to the caller waiting on its request ID.
+func (c *tcpBlobChannel) readLoop() {
+	for {
+		payload, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("transport: blob recv: %w", err))
+			return
+		}
+		m, err := wire.Decode(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("transport: blob decode: %w", err))
+			return
+		}
+		var id uint32
+		switch resp := m.(type) {
+		case *wire.BlobAck:
+			id = resp.ID
+		case *wire.BlobData:
+			id = resp.ID
+		default:
+			c.fail(fmt.Errorf("transport: blob channel answered with a %T", m))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch == nil {
+			// A response for a request nobody is waiting on: the server
+			// is confused or malicious; the channel is unusable.
+			c.fail(fmt.Errorf("transport: blob response for unknown request id %d", id))
+			return
+		}
+		ch <- m
+	}
+}
+
+// fail poisons the channel: the sticky error is recorded and every
+// in-flight caller is released with it (closed channel).
+func (c *tcpBlobChannel) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFramedMsg(c.conn, &c.wmu, req); err != nil {
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	_ = c.conn.Close()
+}
+
+// roundTrip registers a request ID, sends the message build(id) produces,
+// and blocks until the reader delivers the matching response. Other
+// callers' requests proceed concurrently.
+func (c *tcpBlobChannel) roundTrip(build func(id uint32) wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan wire.Message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := writeFramedMsg(c.conn, &c.wmu, build(id)); err != nil {
+		c.mu.Lock()
+		if c.pending[id] == ch {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
 		return nil, fmt.Errorf("transport: blob send: %w", err)
 	}
-	payload, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: blob recv: %w", err)
-	}
-	m, err := wire.Decode(payload)
-	if err != nil {
-		return nil, fmt.Errorf("transport: blob decode: %w", err)
+	m, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
 	}
 	return m, nil
 }
@@ -818,7 +902,9 @@ func (c *tcpBlobChannel) PutBlob(hash, data []byte) error {
 	if err := checkBlobSizes(hash, data); err != nil {
 		return err
 	}
-	m, err := c.roundTrip(&wire.BlobPut{Hash: hash, Data: data})
+	m, err := c.roundTrip(func(id uint32) wire.Message {
+		return &wire.BlobPut{ID: id, Hash: hash, Data: data}
+	})
 	if err != nil {
 		return err
 	}
@@ -834,7 +920,9 @@ func (c *tcpBlobChannel) PutBlob(hash, data []byte) error {
 
 // GetBlob implements BlobChannel.
 func (c *tcpBlobChannel) GetBlob(hash []byte) ([]byte, error) {
-	m, err := c.roundTrip(&wire.BlobGet{Hash: hash})
+	m, err := c.roundTrip(func(id uint32) wire.Message {
+		return &wire.BlobGet{ID: id, Hash: hash}
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -17,8 +17,16 @@ package wire
 // content-addressed, so the reader recomputes the hash of every byte it
 // receives and rejects mismatches — a lying server is caught exactly like
 // a lying register reply, just by hashing instead of signature checks.
-// Integrity of the hash itself comes from the KV directory, whose Merkle
-// root is committed through the fail-aware register.
+// Integrity of the hash itself comes from the KV directory tree, whose
+// root hash is committed through the fail-aware register.
+//
+// Every blob message carries a request ID chosen by the client. The
+// server echoes the ID of the request into its response (BLOB_ACK and
+// BLOB_DATA), which lets a client keep many requests in flight on one
+// connection and match responses as they arrive — the pipelining the KV
+// layer's parallel chunk and tree-node fetches rely on. IDs only need to
+// be unique among a connection's in-flight requests; a simple counter
+// suffices.
 
 // Blob message kinds, continuing after the lock-step baseline's kinds.
 const (
@@ -31,13 +39,15 @@ const (
 // BlobPut uploads Data under its content hash. The server stores the
 // bytes verbatim; it verifies nothing (it is the untrusted party).
 type BlobPut struct {
+	ID   uint32
 	Hash []byte
 	Data []byte
 }
 
-// BlobAck acknowledges a BlobPut. OK is false when the store failed, with
-// the reason in Msg.
+// BlobAck acknowledges a BlobPut, echoing its request ID. OK is false
+// when the store failed, with the reason in Msg.
 type BlobAck struct {
+	ID   uint32
 	Hash []byte
 	OK   bool
 	Msg  string
@@ -45,12 +55,14 @@ type BlobAck struct {
 
 // BlobGet requests the blob stored under Hash.
 type BlobGet struct {
+	ID   uint32
 	Hash []byte
 }
 
-// BlobData answers a BlobGet. Found is false (and Data nil) when no blob
-// is stored under the hash.
+// BlobData answers a BlobGet, echoing its request ID. Found is false
+// (and Data nil) when no blob is stored under the hash.
 type BlobData struct {
+	ID    uint32
 	Hash  []byte
 	Found bool
 	Data  []byte
@@ -71,21 +83,25 @@ var (
 )
 
 func (b *BlobPut) encodeBody(buf []byte) []byte {
+	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	return appendBytes(buf, b.Data)
 }
 
 func (b *BlobAck) encodeBody(buf []byte) []byte {
+	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	buf = appendBool(buf, b.OK)
 	return appendBytes(buf, []byte(b.Msg))
 }
 
 func (b *BlobGet) encodeBody(buf []byte) []byte {
+	buf = appendU32(buf, b.ID)
 	return appendBytes(buf, b.Hash)
 }
 
 func (b *BlobData) encodeBody(buf []byte) []byte {
+	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	buf = appendBool(buf, b.Found)
 	return appendBytes(buf, b.Data)
@@ -97,19 +113,25 @@ func decodeBlob(kind Kind, r *reader) Message {
 	switch kind {
 	case KindBlobPut:
 		b := &BlobPut{}
+		b.ID = r.u32()
 		b.Hash = r.bytes()
 		b.Data = r.bytes()
 		return b
 	case KindBlobAck:
 		b := &BlobAck{}
+		b.ID = r.u32()
 		b.Hash = r.bytes()
 		b.OK = r.bool()
 		b.Msg = string(r.bytes())
 		return b
 	case KindBlobGet:
-		return &BlobGet{Hash: r.bytes()}
+		b := &BlobGet{}
+		b.ID = r.u32()
+		b.Hash = r.bytes()
+		return b
 	case KindBlobData:
 		b := &BlobData{}
+		b.ID = r.u32()
 		b.Hash = r.bytes()
 		b.Found = r.bool()
 		b.Data = r.bytes()

@@ -11,12 +11,12 @@ import (
 func TestBlobMessageRoundTrip(t *testing.T) {
 	hash := bytes.Repeat([]byte{0xab}, 32)
 	msgs := []Message{
-		&BlobPut{Hash: hash, Data: []byte("chunk-bytes")},
+		&BlobPut{ID: 7, Hash: hash, Data: []byte("chunk-bytes")},
 		&BlobPut{Hash: hash, Data: []byte{}},
-		&BlobAck{Hash: hash, OK: true},
-		&BlobAck{Hash: hash, OK: false, Msg: "store: disk full"},
-		&BlobGet{Hash: hash},
-		&BlobData{Hash: hash, Found: true, Data: []byte("payload")},
+		&BlobAck{ID: 7, Hash: hash, OK: true},
+		&BlobAck{ID: 1 << 31, Hash: hash, OK: false, Msg: "store: disk full"},
+		&BlobGet{ID: 42, Hash: hash},
+		&BlobData{ID: 42, Hash: hash, Found: true, Data: []byte("payload")},
 		&BlobData{Hash: hash, Found: false},
 	}
 	for _, m := range msgs {
@@ -31,6 +31,14 @@ func TestBlobMessageRoundTrip(t *testing.T) {
 		if !bytes.Equal(Encode(dec), enc) {
 			t.Fatalf("%T did not round-trip canonically", m)
 		}
+	}
+
+	// The request ID survives the round trip on every message kind.
+	if g, _ := Decode(Encode(&BlobGet{ID: 99, Hash: hash})); g.(*BlobGet).ID != 99 {
+		t.Fatalf("BlobGet ID lost: %+v", g)
+	}
+	if d, _ := Decode(Encode(&BlobData{ID: 99, Hash: hash, Found: true})); d.(*BlobData).ID != 99 {
+		t.Fatalf("BlobData ID lost: %+v", d)
 	}
 
 	// nil vs empty Data must survive the round trip distinctly.

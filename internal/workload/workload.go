@@ -271,6 +271,12 @@ func (s *KVStream) nextPut(key string) KVOp {
 	return KVOp{Client: s.client, Kind: KVPut, Owner: s.client, Key: key, Value: s.kvValue()}
 }
 
+// KeyName returns the canonical zero-padded key for index i. KV streams
+// generate keys through it, and benchmarks/prefill helpers that address
+// the same namespaces (faust-bench E18/E19, the kv benchmarks) share it
+// so a prefilled key space and a generated stream line up exactly.
+func KeyName(i int) string { return fmt.Sprintf("key-%06d", i) }
+
 // key picks the target key, Zipf-skewed when configured. Keys are
 // zero-padded so every namespace lists in deterministic order.
 func (s *KVStream) key() string {
@@ -280,7 +286,7 @@ func (s *KVStream) key() string {
 	} else {
 		idx = s.rng.Intn(s.cfg.Keys)
 	}
-	return fmt.Sprintf("key-%06d", idx)
+	return KeyName(idx)
 }
 
 // kvValue builds a globally unique value of the configured size.

@@ -3,6 +3,7 @@ package faust
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -64,11 +65,14 @@ func TestTCPMultiShardKV(t *testing.T) {
 	}
 
 	// Client 0 of each shard owns a namespace; the same key holds
-	// different values per shard, including a multi-chunk one.
+	// different values per shard, including a multi-chunk one. Alpha
+	// uses a tiny tree fanout so its directory spans many tree-node
+	// blobs across several levels — all of which must persist in the
+	// shard's blob directory and recover across the restart.
 	bigAlpha := bytes.Repeat([]byte("alpha-bulk "), 2000) // ~22 KB, >1 chunk at 8 KiB
 	alpha0c, alpha0ch := dial("alpha", 0)
 	beta0c, beta0ch := dial("beta", 0)
-	alpha0, err := kv.Open(alpha0c, alpha0ch, kv.WithChunkSize(8<<10))
+	alpha0, err := kv.Open(alpha0c, alpha0ch, kv.WithChunkSize(8<<10), kv.WithTreeFanout(4, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +85,16 @@ func TestTCPMultiShardKV(t *testing.T) {
 	}
 	if err := alpha0.Put("bulk", bigAlpha); err != nil {
 		t.Fatal(err)
+	}
+	batch := make([]kv.Item, 40)
+	for i := range batch {
+		batch[i] = kv.Item{Key: fmt.Sprintf("batch-%03d", i), Value: []byte(fmt.Sprintf("payload-%03d", i))}
+	}
+	if err := alpha0.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if h := alpha0.Height(); h < 3 {
+		t.Fatalf("alpha tree height = %d, want >= 3 (the restart must recover a real multi-level tree)", h)
 	}
 	if err := beta0.Put("shared-key", []byte("beta-value")); err != nil {
 		t.Fatal(err)
@@ -164,6 +178,14 @@ func TestTCPMultiShardKV(t *testing.T) {
 	if v, err := alpha1r.GetFrom(0, "bulk"); err != nil || !bytes.Equal(v, bigAlpha) {
 		t.Fatalf("alpha bulk after restart: %d bytes, %v", len(v), err)
 	}
+	// Every level of alpha's multi-node tree recovered from the shard's
+	// blob directory: a full authenticated listing touches all of it.
+	if keys, err := alpha1r.ListFrom(0); err != nil || len(keys) != 42 {
+		t.Fatalf("alpha ListFrom after restart = %d keys, %v; want 42", len(keys), err)
+	}
+	if v, err := alpha1r.GetFrom(0, "batch-025"); err != nil || string(v) != "payload-025" {
+		t.Fatalf("alpha batch key after restart = %q, %v", v, err)
+	}
 	if v, err := beta1r.GetFrom(0, "shared-key"); err != nil || string(v) != "beta-value" {
 		t.Fatalf("beta read after restart = %q, %v", v, err)
 	}
@@ -173,12 +195,12 @@ func TestTCPMultiShardKV(t *testing.T) {
 
 	// The owners resume too and keep writing into their recovered
 	// namespaces.
-	alpha0r, err := kv.Open(alpha0c, redial(alpha0c, "alpha", 0), kv.WithChunkSize(8<<10))
+	alpha0r, err := kv.Open(alpha0c, redial(alpha0c, "alpha", 0), kv.WithChunkSize(8<<10), kv.WithTreeFanout(4, 4))
 	if err != nil {
 		t.Fatalf("alpha owner reopen: %v", err)
 	}
-	if alpha0r.Len() != 2 {
-		t.Fatalf("alpha owner recovered %d keys, want 2", alpha0r.Len())
+	if alpha0r.Len() != 42 {
+		t.Fatalf("alpha owner recovered %d keys, want 42", alpha0r.Len())
 	}
 	if err := alpha0r.Put("post-restart", []byte("written after recovery")); err != nil {
 		t.Fatal(err)
