@@ -1,6 +1,7 @@
 // Faust-bench regenerates the paper-level experiments (E5-E14) plus the
 // system-growth experiments this repo added (E15 persistence, E16
-// concurrent throughput, E17 multi-tenant sharding, E18 the KV layer)
+// concurrent throughput, E17 multi-tenant sharding, E18 the KV layer,
+// E19 tree directories, E20 latency tails and metrics overhead)
 // and prints one table per experiment.
 // Unlike the testing.B benchmarks in bench_test.go (micro-level,
 // statistics via the Go tooling), this harness prints the shaped tables
@@ -30,6 +31,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"faust/internal/faustproto"
 	"faust/internal/kv"
 	"faust/internal/lockstep"
+	"faust/internal/obs"
 	"faust/internal/offline"
 	"faust/internal/shard"
 	"faust/internal/sim"
@@ -68,6 +71,11 @@ type benchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Value       float64 `json:"value,omitempty"`
 	Unit        string  `json:"unit,omitempty"`
+	// Latency-tail columns, filled by experiments that sample per-op
+	// latencies (E20): exact quantiles over the sorted sample set.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
 }
 
 // results collects every measured row of the run; experiments append via
@@ -148,6 +156,7 @@ func main() {
 		{"multishard", "E17: multi-tenant shard scaling over TCP vs the single-dispatcher baseline", expMultiShard},
 		{"kv", "E18: authenticated KV layer — value-size and key-count sweeps, cache ablation", expKV},
 		{"kvtree", "E19: O(log n) directories — Put/GetFrom cost vs key count, Merkle tree vs flat ablation", expKVTree},
+		{"lattail", "E20: latency tails (p50/p99/p999) under concurrent load, and the cost of metrics", expLatencyTail},
 	}
 
 	want := map[string]bool{}
@@ -1148,6 +1157,175 @@ func expKVTree() {
 		fmt.Printf("%-8s %-6s | %25s %8.1fx | %29s %8.1fx   (bytes)\n",
 			"", "", "", flat.putBytes/tree.putBytes, "", flat.getBytes/tree.getBytes)
 	}
+}
+
+// expLatencyTail is E20: the tail behaviour the throughput experiment's
+// single wall-clock number hides. It reruns the E16 concurrent
+// read/write mix but timestamps EVERY operation, then reports exact
+// p50/p99/p999 over the sorted samples — for the in-memory server, for
+// the group-commit fsync'd WAL server (whose batching shows up as tail,
+// not median), and for the in-memory server with observability disabled,
+// which bounds what the always-on metrics cost on the hot path.
+func expLatencyTail() {
+	const m = 4
+	opsPer := 400
+	if quick {
+		opsPer = 120
+	}
+
+	type tail struct {
+		opsPerSec      float64
+		p50, p99, p999 int64
+		allocsPerOp    float64
+		row            benchResult
+	}
+	run := func(experiment string, core transport.ServerCore, obsOn bool) tail {
+		obs.SetEnabled(obsOn)
+		defer obs.SetEnabled(true)
+		ring, signers := crypto.NewTestKeyring(m, 20)
+		nw := transport.NewNetwork(m, core)
+		defer nw.Stop()
+		clients := make([]*ustor.Client, m)
+		for i := range clients {
+			clients[i] = ustor.NewClient(i, ring, signers[i], nw.ClientLink(i))
+		}
+		w := workload.New(m, workload.Config{ReadFraction: 0.5, ValueSize: 64, Seed: 21})
+		for i, c := range clients { // seed registers so reads return values
+			if err := c.Write(w.Stream(i).NextWrite().Value); err != nil {
+				fail(err)
+			}
+		}
+		samples := make([][]int64, m)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		done := make(chan error, m)
+		for c := 0; c < m; c++ {
+			go func(c int) {
+				s := w.Stream(c)
+				lat := make([]int64, 0, opsPer)
+				for i := 0; i < opsPer; i++ {
+					op := s.Next()
+					t0 := time.Now()
+					var err error
+					if op.IsWrite {
+						err = clients[c].Write(op.Value)
+					} else {
+						_, err = clients[c].Read(op.Reg)
+					}
+					lat = append(lat, time.Since(t0).Nanoseconds())
+					if err != nil {
+						done <- err
+						return
+					}
+				}
+				samples[c] = lat
+				done <- nil
+			}(c)
+		}
+		for c := 0; c < m; c++ {
+			if err := <-done; err != nil {
+				fail(err)
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+
+		var all []int64
+		for _, s := range samples {
+			all = append(all, s...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		quantile := func(q float64) int64 {
+			rank := int(q * float64(len(all)))
+			if rank >= len(all) {
+				rank = len(all) - 1
+			}
+			return all[rank]
+		}
+		total := m * opsPer
+		t := tail{
+			opsPerSec:   float64(total) / wall.Seconds(),
+			p50:         quantile(0.50),
+			p99:         quantile(0.99),
+			p999:        quantile(0.999),
+			allocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		}
+		t.row = benchResult{
+			Experiment:  experiment,
+			N:           m,
+			NsPerOp:     float64(wall.Nanoseconds()) / float64(total),
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total),
+			AllocsPerOp: t.allocsPerOp,
+			P50Ns:       float64(t.p50),
+			P99Ns:       float64(t.p99),
+			P999Ns:      float64(t.p999),
+		}
+		return t
+	}
+	// Noise discipline: an untimed warm-up pass first (so the first
+	// measured configuration doesn't absorb process start-up cost), then
+	// best-of-N for the on/off pair, keeping the run with the LOWEST p50 —
+	// a single 1600-op run on a shared (or single-core) machine is
+	// dominated by scheduler noise, wall-clock throughput swings by double
+	// digits run to run, and the least-disturbed run of each configuration
+	// is the one whose median was hurt least. The overhead claim below is
+	// computed from those medians, not from throughput, for the same
+	// reason: a p50 is unaffected by a handful of multi-ms preemptions
+	// that can swallow a whole run's wall clock.
+	reps := 5
+	if quick {
+		reps = 3
+	}
+	bestOf := func(f func() tail) tail {
+		best := f()
+		for i := 1; i < reps; i++ {
+			if t := f(); t.p50 < best.p50 {
+				best = t
+			}
+		}
+		return best
+	}
+	run("lattail/warmup", ustor.NewServer(m), true)
+	mem := bestOf(func() tail { return run("lattail/mem", ustor.NewServer(m), true) })
+	memOff := bestOf(func() tail { return run("lattail/mem-noobs", ustor.NewServer(m), false) })
+
+	dir, err := os.MkdirTemp("", "faust-bench-lattail")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	backend, err := store.OpenFile(dir, store.FileOptions{Fsync: true, GroupCommit: true, FlushInterval: 2 * time.Millisecond})
+	if err != nil {
+		fail(err)
+	}
+	ps, err := store.Open(ustor.NewServer(m), backend, store.Options{SnapshotEvery: 4096})
+	if err != nil {
+		fail(err)
+	}
+	wal := run("lattail/wal-gc", ps, true)
+	_ = ps.Close()
+	results = append(results, mem.row, memOff.row, wal.row)
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("(%d clients, %d ops each, 50%% reads, per-op sampling)\n", m, opsPer)
+	fmt.Printf("%-34s %12s %10s %10s %10s %10s\n", "configuration", "ops/sec", "p50 us", "p99 us", "p999 us", "allocs/op")
+	for _, r := range []struct {
+		name string
+		t    tail
+	}{
+		{"in-memory, metrics on", mem},
+		{"in-memory, metrics off", memOff},
+		{"WAL fsync+group-commit, metrics on", wal},
+	} {
+		fmt.Printf("%-34s %12.0f %10.1f %10.1f %10.1f %10.1f\n", r.name,
+			r.t.opsPerSec, us(r.t.p50), us(r.t.p99), us(r.t.p999), r.t.allocsPerOp)
+	}
+	overhead := float64(mem.p50-memOff.p50) / float64(memOff.p50) * 100
+	fmt.Printf("metrics overhead on the in-memory path: %.1f%% on p50 latency (target <= 2%%)\n", overhead)
+	fmt.Printf("(environment-sensitive: on single-core or loaded machines the run-to-run\n" +
+		" noise floor exceeds the target; judge the trend across runs, not one number)\n")
+	recordValue("lattail/metrics-overhead", m, overhead, "%")
 }
 
 // fmtSize renders a byte count compactly for the E18 table.

@@ -10,6 +10,7 @@
 //	getfrom <j> <key> authenticated read of client j's namespace
 //	cut               print the stability cut (requires -listen/-peers)
 //	status            print failure state
+//	stats             print session KV traffic and round-trip latency stats
 //	quit
 //
 // Without -listen/-peers it runs the bare USTOR protocol (storage with
@@ -50,6 +51,7 @@ import (
 	"faust/internal/crypto"
 	"faust/internal/faustproto"
 	"faust/internal/kv"
+	"faust/internal/obs"
 	"faust/internal/offline"
 	"faust/internal/transport"
 	"faust/internal/ustor"
@@ -308,6 +310,8 @@ func repl(s *session) {
 				break
 			}
 			fmt.Printf("cut=%v\n", s.fc.StableCut())
+		case "stats":
+			printStats(s)
 		case "status":
 			var failed bool
 			var reason error
@@ -324,10 +328,40 @@ func repl(s *session) {
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: write <text> | read <j> | put <k> <text> | get <k> | del <k> | ls [j] | getfrom <j> <k> | cut | status | quit")
+			fmt.Println("commands: write <text> | read <j> | put <k> <text> | get <k> | del <k> | ls [j] | getfrom <j> <k> | cut | status | stats | quit")
 		}
 		fmt.Print("> ")
 	}
+}
+
+// printStats prints the session's KV traffic counters (when the KV layer
+// has been used) and the client-observed register round-trip latency
+// histograms (ustor-level, so write/read latency shows in both modes).
+func printStats(s *session) {
+	if s.store != nil {
+		st := s.store.Stats()
+		fmt.Printf("kv traffic:\n")
+		fmt.Printf("  register reads / writes:   %d / %d\n", st.RegisterReads, st.RegisterWrites)
+		fmt.Printf("  blob puts / gets:          %d / %d\n", st.BlobPuts, st.BlobGets)
+		fmt.Printf("  blob bytes up / down:      %d / %d\n", st.BlobPutBytes, st.BlobGetBytes)
+		fmt.Printf("  cache hits (chunk/node/value): %d / %d / %d\n",
+			st.ChunkCacheHits, st.NodeCacheHits, st.ValueCacheHits)
+	} else {
+		fmt.Println("kv traffic: (kv layer not used yet)")
+	}
+	read, write := ustor.OpLatency()
+	printLatency("read", read)
+	printLatency("write", write)
+}
+
+func printLatency(op string, h obs.HistSnapshot) {
+	if h.Count == 0 {
+		fmt.Printf("%s round trips: none\n", op)
+		return
+	}
+	fmt.Printf("%s round trips: %d  mean %.2fms  p50 %.2fms  p99 %.2fms  max %.2fms\n",
+		op, h.Count, float64(h.Sum)/float64(h.Count)/1e6,
+		float64(h.Quantile(0.50))/1e6, float64(h.Quantile(0.99))/1e6, float64(h.Max)/1e6)
 }
 
 // withKV runs a KV command against the lazily opened store.

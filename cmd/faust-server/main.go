@@ -93,6 +93,7 @@ import (
 	"syscall"
 	"time"
 
+	"faust/internal/obs"
 	"faust/internal/shard"
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -108,6 +109,7 @@ func main() {
 	flushInterval := flag.Duration("flush-interval", 2*time.Millisecond, "group-commit: max time a buffered record may wait for a background flush")
 	shardsFile := flag.String("shards", "", "shard manifest file: one '<name> n=<clients> [persist]' per line")
 	shardSpec := flag.String("shard-spec", "", "template for lazily created shards, e.g. 'n=4,persist'; empty = reject undeclared shards")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /events, /debug/vars and /debug/pprof on this address; empty = disabled")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -176,6 +178,15 @@ func main() {
 	if defInfo.Persistent {
 		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v, group-commit: %v)\n",
 			defInfo.Dir, defInfo.RecoveredSnapshot, defInfo.ReplayedRecords, *fsync, *groupCommit)
+	}
+
+	if *metricsAddr != "" {
+		obs.SetEnabled(true)
+		mln, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("faust-server: metrics listen: %v", err)
+		}
+		fmt.Printf("faust-server: metrics on http://%s/metrics (events: /events, pprof: /debug/pprof)\n", mln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

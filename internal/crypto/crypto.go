@@ -17,6 +17,8 @@ import (
 	"fmt"
 	mathrand "math/rand/v2"
 	"sync"
+
+	"faust/internal/obs"
 )
 
 // HashSize is the size in bytes of hash values produced by Hash.
@@ -38,6 +40,15 @@ const (
 // Hash, Sign and Verify so the steady-state hot path performs no heap
 // allocation beyond the returned digest or signature.
 var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// Signature timing feeds the observability layer: Ed25519 dominates the
+// client-side cost of every USTOR operation (Section 6 measures exactly
+// this), so per-call histograms make the crypto share of op latency
+// visible on /metrics wherever signing or verification happens.
+var (
+	signNs   = obs.Default().Histogram("faust_ed25519_sign_ns")
+	verifyNs = obs.Default().Histogram("faust_ed25519_verify_ns")
+)
 
 // Hash returns the SHA-256 digest of the concatenation of the given byte
 // slices. The digest is computed with a stack [32]byte sum (sha256.Sum256)
@@ -100,7 +111,9 @@ func (s *Signer) Sign(domain byte, payload []byte) []byte {
 	bp := scratchPool.Get().(*[]byte)
 	msg := append((*bp)[:0], domain)
 	msg = append(msg, payload...)
+	start := obs.StartTimer()
 	sig := ed25519.Sign(s.key, msg)
+	signNs.ObserveSince(start)
 	*bp = msg
 	scratchPool.Put(bp)
 	return sig
@@ -130,7 +143,9 @@ func (k *Keyring) Verify(i int, sig []byte, domain byte, payload []byte) bool {
 	bp := scratchPool.Get().(*[]byte)
 	msg := append((*bp)[:0], domain)
 	msg = append(msg, payload...)
+	start := obs.StartTimer()
 	ok := ed25519.Verify(k.pubs[i], msg, sig)
+	verifyNs.ObserveSince(start)
 	*bp = msg
 	scratchPool.Put(bp)
 	return ok

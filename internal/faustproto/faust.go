@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"faust/internal/crypto"
+	"faust/internal/obs"
 	"faust/internal/offline"
 	"faust/internal/transport"
 	"faust/internal/ustor"
@@ -94,6 +95,14 @@ func WithFailHandler(f func(err error)) Option {
 	return func(c *Client) { c.onFail = f }
 }
 
+// WithEventLog routes this client's protocol events (stability-cut
+// advances, fail notifications, fork detections) to l instead of the
+// process-wide default event log. The log is also handed to the
+// underlying USTOR client.
+func WithEventLog(l *obs.EventLog) Option {
+	return func(c *Client) { c.events = l }
+}
+
 // Client is a FAUST client (Figure 4: USTOR client + failure detector +
 // offline exchange). Create with NewClient, then Start the background
 // machinery; user operations may run concurrently with it.
@@ -107,6 +116,7 @@ type Client struct {
 
 	onStable func([]int64)
 	onFail   func(error)
+	events   *obs.EventLog
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -150,11 +160,15 @@ func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transpo
 	for _, o := range opts {
 		o(c)
 	}
+	if c.events == nil {
+		c.events = obs.Default().Events()
+	}
 	now := time.Now()
 	for i := range c.lastUpd {
 		c.lastUpd[i] = now
 	}
-	c.us = ustor.NewClient(id, ring, signer, link, ustor.WithFailHandler(c.ustorFailed))
+	c.us = ustor.NewClient(id, ring, signer, link,
+		ustor.WithFailHandler(c.ustorFailed), ustor.WithEventLog(c.events))
 	return c
 }
 
@@ -368,7 +382,10 @@ func (c *Client) integrateVersion(from int, sv wire.SignedVersion) {
 	maxSV := c.ver[c.maxIdx]
 	if !version.Comparable(sv.Ver, maxSV.Ver) {
 		c.mu.Unlock()
-		c.failWith(&ForkError{Client: c.id, A: maxSV.Clone(), B: sv.Clone()}, true)
+		fe := &ForkError{Client: c.id, A: maxSV.Clone(), B: sv.Clone()}
+		c.events.Record(obs.EventFork, c.id, "",
+			fmt.Sprintf("incomparable versions %s / %s (from client %d)", fe.A.Ver, fe.B.Ver, from))
+		c.failWith(fe, true)
 		return
 	}
 	var notify []int64
@@ -385,8 +402,11 @@ func (c *Client) integrateVersion(from int, sv wire.SignedVersion) {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	if notify != nil && c.onStable != nil {
-		c.onStable(notify)
+	if notify != nil {
+		c.events.Record(obs.EventStabilityCut, c.id, "", fmt.Sprintf("W=%v", notify))
+		if c.onStable != nil {
+			c.onStable(notify)
+		}
 	}
 }
 
@@ -413,6 +433,7 @@ func (c *Client) failWith(err error, withEvidence bool) {
 			msg.EvidenceA = fe.A
 			msg.EvidenceB = fe.B
 		}
+		c.events.Record(obs.EventFail, c.id, "", err.Error())
 		_ = c.ep.Broadcast(msg)
 		if c.onFail != nil {
 			c.onFail(err)
@@ -480,6 +501,8 @@ func (c *Client) handleFailure(m *wire.Failure) {
 		if !okA || !okB || version.Comparable(a.Ver, b.Ver) {
 			return // bogus evidence; ignore
 		}
+		c.events.Record(obs.EventFork, c.id, "",
+			fmt.Sprintf("verified fork evidence relayed by client %d", m.From))
 		c.failWith(&ForkError{Client: c.id, A: a, B: b}, true)
 		return
 	}

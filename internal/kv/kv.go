@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"faust/internal/crypto"
+	"faust/internal/obs"
 	"faust/internal/transport"
 	"faust/internal/ustor"
 	"faust/internal/version"
@@ -196,7 +197,15 @@ type Store struct {
 	nodeBytes  int
 	valCache   map[int]map[string]*cachedValue
 	valBytes   int
-	stats      Stats
+
+	stats  statCounters // lock-free; see metrics.go
+	events *obs.EventLog
+}
+
+// WithEventLog routes the store's protocol events (blob-tamper
+// detections) to l instead of the process-wide default event log.
+func WithEventLog(l *obs.EventLog) Option {
+	return func(s *Store) { s.events = l }
 }
 
 // Open creates the store and bootstraps the own namespace from the
@@ -221,11 +230,14 @@ func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, er
 	for _, o := range opts {
 		o(s)
 	}
+	if s.events == nil {
+		s.events = obs.Default().Events()
+	}
 	res, err := reg.ReadX(reg.ID())
 	if err != nil {
 		return nil, fmt.Errorf("kv: bootstrapping from own register: %w", err)
 	}
-	s.stats.RegisterReads++
+	s.statRegisterRead()
 	if res.Value != nil {
 		rr, err := decodeRoot(res.Value)
 		if err != nil {
@@ -244,11 +256,10 @@ func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, er
 // ID returns the owning client's index.
 func (s *Store) ID() int { return s.reg.ID() }
 
-// Stats returns a snapshot of the traffic counters.
+// Stats returns a snapshot of the traffic counters. The counters are
+// atomics, so this never blocks on (or races with) in-flight operations.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return s.stats.snapshot()
 }
 
 // Root returns the current root hash of the own directory tree (the
@@ -361,9 +372,8 @@ func (s *Store) PutBatch(items []Item) error {
 		if err := s.blobs.PutBlob(u.hash, u.data); err != nil {
 			return fmt.Errorf("kv: uploading chunk: %w", err)
 		}
+		s.statBlobPut(len(u.data))
 		s.mu.Lock()
-		s.stats.BlobPuts++
-		s.stats.BlobPutBytes += int64(len(u.data))
 		s.cacheChunk(u.hash, u.data)
 		s.mu.Unlock()
 		return nil
@@ -421,8 +431,8 @@ func (s *Store) commit(newRoot *node) error {
 	s.mu.Lock()
 	s.root = newRoot
 	s.gen = rr.Gen
-	s.stats.RegisterWrites++
 	s.mu.Unlock()
+	s.statRegisterWrite()
 	return nil
 }
 
@@ -470,10 +480,7 @@ func (s *Store) uploadDirty(root *node) error {
 			if err := s.blobs.PutBlob(h, enc); err != nil {
 				return fmt.Errorf("kv: uploading tree node: %w", err)
 			}
-			s.mu.Lock()
-			s.stats.BlobPuts++
-			s.stats.BlobPutBytes += int64(len(enc))
-			s.mu.Unlock()
+			s.statBlobPut(len(enc))
 			n.hash = h
 			return nil
 		}); err != nil {
@@ -567,7 +574,7 @@ func (s *Store) CachedGetFrom(j int, key string) ([]byte, error) {
 	if byKey := s.valCache[j]; byKey != nil {
 		if cv, ok := byKey[key]; ok {
 			if cv.ownerT == s.reg.ObservedTimestamp(j) && bytes.Equal(crypto.Hash(cv.value), cv.digest) {
-				s.stats.ValueCacheHits++
+				s.statValueCacheHit()
 				out := append([]byte(nil), cv.value...)
 				s.mu.Unlock()
 				return out, nil
@@ -589,9 +596,7 @@ func (s *Store) readRoot(j int) (*rootRecord, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("kv: reading register %d: %w", j, err)
 	}
-	s.mu.Lock()
-	s.stats.RegisterReads++
-	s.mu.Unlock()
+	s.statRegisterRead()
 	// WriterTimestamp is the owner timestamp of THIS read (line 51 pins
 	// it to V[j] during the operation). Sampling ObservedTimestamp here
 	// instead would race with concurrent operations on the shared
@@ -845,7 +850,7 @@ func (s *Store) getNode(hash []byte) (*node, error) {
 	key := string(hash)
 	s.mu.Lock()
 	if n, ok := s.nodeCache[key]; ok {
-		s.stats.NodeCacheHits++
+		s.statNodeCacheHit()
 		s.mu.Unlock()
 		return n, nil
 	}
@@ -855,15 +860,16 @@ func (s *Store) getNode(hash []byte) (*node, error) {
 		return nil, fmt.Errorf("kv: fetching tree node: %w", err)
 	}
 	if !bytes.Equal(crypto.Hash(blob), hash) {
+		s.events.Record(obs.EventBlobTamper, s.reg.ID(), "",
+			fmt.Sprintf("tree node %x fails its content hash", hash))
 		return nil, errors.New("kv: tree node digest mismatch (tampered tree node)")
 	}
 	n, err := decodeNode(blob)
 	if err != nil {
 		return nil, err
 	}
+	s.statBlobGet(len(blob))
 	s.mu.Lock()
-	s.stats.BlobGets++
-	s.stats.BlobGetBytes += int64(len(blob))
 	s.cacheNode(key, n, len(blob))
 	s.mu.Unlock()
 	return n, nil
@@ -913,7 +919,7 @@ func (s *Store) assemble(e *entry) ([]byte, error) {
 		if cached, ok := s.chunkCache[string(h)]; ok {
 			if bytes.Equal(crypto.Hash(cached), h) {
 				chunks[i] = cached
-				s.stats.ChunkCacheHits++
+				s.statChunkCacheHit()
 				continue
 			}
 			// The validating part of the cache: a corrupted entry is
@@ -934,11 +940,12 @@ func (s *Store) assemble(e *entry) ([]byte, error) {
 			return fmt.Errorf("kv: fetching chunk: %w", err)
 		}
 		if !bytes.Equal(crypto.Hash(fetched), h) {
+			s.events.Record(obs.EventBlobTamper, s.reg.ID(), "",
+				fmt.Sprintf("chunk %x fails its content hash", h))
 			return errors.New("kv: chunk digest mismatch (tampered chunk)")
 		}
+		s.statBlobGet(len(fetched))
 		s.mu.Lock()
-		s.stats.BlobGets++
-		s.stats.BlobGetBytes += int64(len(fetched))
 		s.cacheChunk(h, fetched)
 		s.mu.Unlock()
 		for _, i := range missingAt[string(h)] {

@@ -1,0 +1,70 @@
+package kv_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentWithOperations pins the satellite fix: the traffic
+// counters are atomics, so Stats() may be polled concurrently with
+// reads and writes without tripping the race detector (run with -race)
+// and without serializing behind an operation's lock.
+func TestStatsConcurrentWithOperations(t *testing.T) {
+	cl := newCluster(t, 2, nil)
+	s := cl.stores[0]
+	peer := cl.stores[1]
+	if err := peer.Put("shared", []byte("peer value")); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 50
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := s.Put(fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := s.GetFrom(1, "shared"); err != nil {
+				t.Errorf("getfrom: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := s.CachedGetFrom(1, "shared"); err != nil {
+				t.Errorf("cachedgetfrom: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4*iters; i++ {
+			st := s.Stats()
+			if st.RegisterReads < 0 || st.BlobGetBytes < 0 {
+				t.Error("negative counter")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.RegisterWrites < iters {
+		t.Fatalf("RegisterWrites = %d, want >= %d", st.RegisterWrites, iters)
+	}
+	if st.RegisterReads == 0 || st.BlobPuts == 0 || st.BlobGets == 0 {
+		t.Fatalf("counters not flowing: %+v", st)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind names one class of fail-aware protocol outcome. The set
+// mirrors what the paper makes first-class: integrity violations detected
+// by USTOR's checks, FAUST's fail and stability notifications, and the
+// server-side admission/tamper signals added by later layers.
+type EventKind string
+
+const (
+	// EventFork: a client's consistency checks found evidence of a forked
+	// or otherwise inconsistent server history (USTOR DetectionError,
+	// FAUST incomparable-version ForkError).
+	EventFork EventKind = "fork-detected"
+	// EventFail: a FAUST client delivered a fail_i notification — locally
+	// detected or received from another client as a FAILURE message.
+	EventFail EventKind = "fail-notification"
+	// EventStabilityCut: a FAUST client's stability cut advanced and the
+	// OnStable callback fired with a new vector W.
+	EventStabilityCut EventKind = "stability-cut-advance"
+	// EventRollback: the server presented a version that does not extend
+	// the client's own — the signature of replaying old state.
+	EventRollback EventKind = "rollback-detected"
+	// EventPreflightReject: the server refused a shard handshake during
+	// preflight (unknown shard, dimension mismatch, bad magic).
+	EventPreflightReject EventKind = "preflight-reject"
+	// EventBlobTamper: a reader recomputed a blob's content hash and it
+	// did not match the address it was fetched under.
+	EventBlobTamper EventKind = "blob-tamper"
+)
+
+// Event is one timestamped entry of the protocol event log. Client is the
+// client index the event concerns (-1 when not applicable, e.g. server-side
+// preflight rejections of unknown peers); Shard is the shard name ("" for
+// single-tenant setups). Detail carries the human-readable specifics: the
+// failed check, the stability cut, the offending hash.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Client int       `json:"client"`
+	Shard  string    `json:"shard,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// DefaultEventCap is the ring capacity used when none is given.
+const DefaultEventCap = 1024
+
+// EventLog is a bounded ring buffer of protocol events plus per-kind
+// lifetime counters (the counters survive ring eviction, so
+// faust_events_total stays accurate however small the ring). Append is
+// mutex-guarded — protocol events are rare by design (each one is a
+// detection or a notification, not a data operation), so a lock here costs
+// nothing on the hot path.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	cap  int
+	seq  uint64
+	next int // ring write position
+	full bool
+
+	counts sync.Map // EventKind -> *atomic.Int64
+
+	// now is the clock, swappable by tests for deterministic timestamps.
+	now func() time.Time
+}
+
+// NewEventLog creates an event log keeping the last capacity events
+// (DefaultEventCap when capacity <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{
+		buf: make([]Event, capacity),
+		cap: capacity,
+		now: time.Now,
+	}
+}
+
+// SetClock replaces the timestamp source. Intended for tests.
+func (l *EventLog) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Record appends an event, stamping sequence number and time. It returns
+// the stamped event. Safe for concurrent use; sequence numbers are
+// strictly increasing and assigned in timestamp order (both under the same
+// lock).
+func (l *EventLog) Record(kind EventKind, client int, shard, detail string) Event {
+	if !enabled.Load() {
+		return Event{}
+	}
+	cv, _ := l.counts.LoadOrStore(kind, new(atomic.Int64))
+	cv.(*atomic.Int64).Add(1)
+
+	l.mu.Lock()
+	l.seq++
+	e := Event{
+		Seq:    l.seq,
+		Time:   l.now(),
+		Kind:   kind,
+		Client: client,
+		Shard:  shard,
+		Detail: detail,
+	}
+	l.buf[l.next] = e
+	l.next++
+	if l.next == l.cap {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+	return e
+}
+
+// Snapshot returns the retained events oldest-first.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]Event(nil), l.buf[:l.next]...)
+	}
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return l.cap
+	}
+	return l.next
+}
+
+// Total returns the lifetime count of events of the given kind, including
+// ones already evicted from the ring.
+func (l *EventLog) Total(kind EventKind) int64 {
+	cv, ok := l.counts.Load(kind)
+	if !ok {
+		return 0
+	}
+	return cv.(*atomic.Int64).Load()
+}
+
+// Kinds returns every kind that has ever been recorded, sorted.
+func (l *EventLog) Kinds() []EventKind {
+	var out []EventKind
+	l.counts.Range(func(k, _ any) bool {
+		out = append(out, k.(EventKind))
+		return true
+	})
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+// This file turns a Registry into an operator-facing HTTP surface:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                histograms with per-octave buckets + p50/p99/p999)
+//	/events         the protocol event log as JSON, oldest first
+//	/debug/vars     expvar JSON (the registry publishes itself under "faust")
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Everything is standard library; there is no client dependency to take.
+
+// quantiles rendered for every histogram family, as (suffix, q) pairs.
+var exportQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p99", 0.99},
+	{"_p999", 0.999},
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms render as native
+// histogram families — cumulative per-octave `le` buckets, `_sum` and
+// `_count`, all in seconds — plus companion gauge families
+// `<name>_p50/_p99/_p999` carrying the estimated quantiles, so tail
+// latency is readable without a PromQL engine.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	metrics := r.snapshotMetrics()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	lastFamily := ""
+	emitHeader := func(w io.Writer, family, typ string) {
+		if family == lastFamily {
+			return
+		}
+		lastFamily = family
+		if h, ok := help[family]; ok {
+			fmt.Fprintf(w, "# HELP %s %s\n", family, h)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+	}
+
+	// Quantile gauges derived from histograms are separate metric
+	// families (<name>_p50 etc.); buffer them per family so each family's
+	// samples stay contiguous under a single TYPE line.
+	quantileFams := make(map[string]*bytes.Buffer)
+
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			emitHeader(w, m.family, "counter")
+			fmt.Fprintf(w, "%s%s %d\n", m.family, m.labels, m.c.Value())
+		case kindGauge:
+			emitHeader(w, m.family, "gauge")
+			fmt.Fprintf(w, "%s%s %d\n", m.family, m.labels, m.g.Value())
+		case kindHistogram:
+			writePromHistogram(w, m, emitHeader, quantileFams)
+		}
+	}
+
+	qNames := make([]string, 0, len(quantileFams))
+	for name := range quantileFams {
+		qNames = append(qNames, name)
+	}
+	sort.Strings(qNames)
+	for _, name := range qNames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		_, _ = w.Write(quantileFams[name].Bytes())
+	}
+
+	// The protocol event log exports its lifetime per-kind counters as
+	// one counter family, whatever registry names its metrics use.
+	kinds := r.events.Kinds()
+	if len(kinds) > 0 {
+		emitHeader(w, "faust_events_total", "counter")
+		for _, k := range kinds {
+			fmt.Fprintf(w, "faust_events_total{kind=%q} %d\n", string(k), r.events.Total(k))
+		}
+	}
+}
+
+// writePromHistogram renders one histogram series: octave-granularity
+// cumulative buckets (collapsing the fine sub-buckets keeps the exposition
+// compact; the fine resolution still backs the quantile estimates), then
+// sum/count in seconds. The quantile gauges are appended to the per-family
+// buffers in quantileFams for the caller to flush at the end.
+func writePromHistogram(w io.Writer, m *metric, emitHeader func(w io.Writer, family, typ string), quantileFams map[string]*bytes.Buffer) {
+	s := m.h.Snapshot()
+	emitHeader(w, m.family, "histogram")
+
+	// Collapse fine buckets into per-octave "le" bounds. Bucket upper
+	// bounds are nanoseconds; exposition is seconds.
+	type ob struct {
+		upperNs int64
+		n       int64
+	}
+	var octaves []ob
+	idxs := make([]int, 0, len(s.Buckets))
+	for i := range s.Buckets {
+		idxs = append(idxs, i)
+	}
+	sortInts(idxs)
+	for _, i := range idxs {
+		upper := bucketUpper(i)
+		// Round the bound up to the enclosing power of two so all fine
+		// buckets of one octave share a bound.
+		oct := int64(1)
+		for oct < upper {
+			oct <<= 1
+		}
+		if len(octaves) > 0 && octaves[len(octaves)-1].upperNs == oct {
+			octaves[len(octaves)-1].n += s.Buckets[i]
+		} else {
+			octaves = append(octaves, ob{oct, s.Buckets[i]})
+		}
+	}
+	cum := int64(0)
+	labels := promLabelPrefix(m.labels)
+	for _, o := range octaves {
+		cum += o.n
+		fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d\n", m.family, labels, float64(o.upperNs)/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", m.family, labels, s.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", m.family, m.labels, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, s.Count)
+
+	for _, eq := range exportQuantiles {
+		name := m.family + eq.suffix
+		buf := quantileFams[name]
+		if buf == nil {
+			buf = &bytes.Buffer{}
+			quantileFams[name] = buf
+		}
+		fmt.Fprintf(buf, "%s%s %g\n", name, m.labels, float64(s.Quantile(eq.q))/1e9)
+	}
+}
+
+// promLabelPrefix turns a rendered label set ("{a=\"b\"}" or "") into the
+// prefix needed before an le label: "{a=\"b\"," or "{".
+func promLabelPrefix(labels string) string {
+	if labels == "" {
+		return "{"
+	}
+	return labels[:len(labels)-1] + ","
+}
+
+// exportJSON renders the registry as a JSON object: metric key -> value
+// (counters and gauges as numbers, histograms as {count,sum,max,p50,p99,
+// p999}). This is what the expvar integration publishes.
+func (r *Registry) exportJSON() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshotMetrics() {
+		key := m.family + m.labels
+		switch m.kind {
+		case kindCounter:
+			out[key] = m.c.Value()
+		case kindGauge:
+			out[key] = m.g.Value()
+		case kindHistogram:
+			s := m.h.Snapshot()
+			out[key] = map[string]any{
+				"count": s.Count,
+				"sum":   s.Sum,
+				"max":   s.Max,
+				"mean":  s.Mean(),
+				"p50":   s.P50(),
+				"p99":   s.P99(),
+				"p999":  s.P999(),
+			}
+		}
+	}
+	for _, k := range r.events.Kinds() {
+		out["faust_events_total{kind=\""+string(k)+"\"}"] = r.events.Total(k)
+	}
+	return out
+}
+
+// publishExpvarOnce guards the process-global expvar name. Only the first
+// registry served gets the "faust" expvar slot; expvar panics on duplicate
+// names, and serving two registries from one process is a test-only
+// scenario.
+var publishExpvarOnce sync.Once
+
+// Handler returns the registry's HTTP surface (see the file comment for
+// the routes).
+func (r *Registry) Handler() http.Handler {
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("faust", expvar.Func(func() any { return Default().exportJSON() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Events().Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "faust observability endpoint\n\n/metrics\n/events\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr and returns the
+// bound listener (so callers learn the port when addr ends in ":0"). The
+// server runs until the listener is closed.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

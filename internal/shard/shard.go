@@ -24,10 +24,28 @@ import (
 	"sort"
 	"sync"
 
+	"faust/internal/obs"
 	"faust/internal/store"
 	"faust/internal/transport"
 	"faust/internal/ustor"
 )
+
+// Router-level observability: how many tenants are live and how often
+// preflight turns handshakes away before they can cost anything. (The
+// per-tenant op counters live in the transport dispatcher, which labels
+// them with the shard name this router resolved.)
+var (
+	rmShardsOpen       = obs.Default().Gauge("faust_shards_open")
+	rmShardsCreated    = obs.Default().Counter("faust_shards_created_total")
+	rmPreflightRejects = obs.Default().Counter("faust_shard_preflight_rejects_total")
+)
+
+func init() {
+	r := obs.Default()
+	r.Help("faust_shards_open", "shard instances currently instantiated")
+	r.Help("faust_shards_created_total", "shard instantiations since process start")
+	r.Help("faust_shard_preflight_rejects_total", "handshakes rejected by shard preflight validation")
+}
 
 // Spec declares one shard.
 type Spec struct {
@@ -177,6 +195,14 @@ func (r *Router) validateSpec(sp Spec) error {
 // cannot force shard creation — otherwise an attacker cycling fresh names
 // with bad ids could grow goroutines, FDs and directories without bound.
 func (r *Router) PreflightShard(name string, id int) error {
+	if err := r.preflight(name, id); err != nil {
+		rmPreflightRejects.Inc()
+		return err
+	}
+	return nil
+}
+
+func (r *Router) preflight(name string, id int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -262,6 +288,8 @@ func (r *Router) ResolveShard(name string) (transport.ServerCore, error) {
 			inst, err = nil, errors.New("shard: router closed")
 		} else {
 			r.open[name] = inst
+			rmShardsCreated.Inc()
+			rmShardsOpen.Set(int64(len(r.open)))
 		}
 	}
 	r.mu.Unlock()
@@ -377,6 +405,7 @@ func (r *Router) Close() error {
 		return nil
 	}
 	r.closed = true
+	rmShardsOpen.Set(0)
 	var errs []error
 	for name, inst := range r.open {
 		if inst.ps == nil {

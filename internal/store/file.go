@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"faust/internal/obs"
 	"faust/internal/wire"
 )
 
@@ -437,6 +438,9 @@ func (b *FileBackend) Append(rec Record) error {
 		var err error
 		b.buf, err = appendFramed(b.buf, rec)
 		b.mu.Unlock()
+		if err == nil {
+			smAppends.Inc()
+		}
 		return err
 	}
 	buf, err := appendFramed(nil, rec)
@@ -450,12 +454,16 @@ func (b *FileBackend) Append(rec Record) error {
 	}
 	b.off += int64(len(buf))
 	if b.opts.Fsync {
-		if err := b.wal.Sync(); err != nil {
+		start := obs.StartTimer()
+		err := b.wal.Sync()
+		smFsyncNs.ObserveSince(start)
+		if err != nil {
 			b.mu.Unlock()
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 	}
 	b.mu.Unlock()
+	smAppends.Inc()
 	return nil
 }
 
@@ -490,7 +498,11 @@ func (b *FileBackend) flushLocked() error {
 	wal, off, preallocEnd := b.wal, b.off, b.preallocEnd
 	b.mu.Unlock()
 
+	start := obs.StartTimer()
 	err := writeBatch(wal, batch, off, &preallocEnd, b.opts.Fsync)
+	smFlushNs.ObserveSince(start)
+	smBatchBytes.Observe(int64(len(batch)))
+	smFlushes.Inc()
 
 	b.mu.Lock()
 	b.spare = batch[:0]
@@ -534,7 +546,10 @@ func writeBatch(wal *os.File, batch []byte, off int64, preallocEnd *int64, sync 
 		return fmt.Errorf("store: appending WAL batch: %w", err)
 	}
 	if sync {
-		if err := datasync(wal); err != nil {
+		start := obs.StartTimer()
+		err := datasync(wal)
+		smFsyncNs.ObserveSince(start)
+		if err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 	}

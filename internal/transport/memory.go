@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faust/internal/obs"
 	"faust/internal/wire"
 )
 
@@ -156,7 +157,9 @@ func (nw *Network) dispatch() {
 		}
 		switch m := e.msg.(type) {
 		case *wire.Submit:
+			start := obs.StartTimer()
 			reply := nw.core.HandleSubmit(e.from, m)
+			tmSubmitNs.ObserveSince(start)
 			if reply == nil {
 				continue // Byzantine silence: client stays blocked
 			}
@@ -168,7 +171,9 @@ func (nw *Network) dispatch() {
 				nw.dropped.Add(1)
 			}
 		case *wire.Commit:
+			start := obs.StartTimer()
 			nw.core.HandleCommit(e.from, m)
+			tmCommitNs.ObserveSince(start)
 		default:
 			if gc, ok := nw.core.(GenericCore); ok {
 				gc.HandleMessage(e.from, e.msg)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"faust/internal/obs"
 	"faust/internal/wire"
 )
 
@@ -170,6 +171,7 @@ func writeFramedMsg(conn net.Conn, mu *sync.Mutex, m wire.Message) error {
 	mu.Unlock()
 	*buf = b // keep any growth for the pool
 	wire.PutBuffer(buf)
+	tmFramesOut.Inc()
 	return err
 }
 
@@ -205,6 +207,7 @@ type shardRT struct {
 	name  string
 	core  ServerCore
 	inbox *fifo[tcpEnvelope]
+	ops   *obs.Counter // per-tenant dispatched-op counter
 
 	mu    sync.Mutex
 	conns map[int]*serverConn
@@ -429,6 +432,7 @@ func (s *TCPServer) createShard(name string) (*shardRT, error) {
 		name:  name,
 		core:  core,
 		inbox: s.sharedInbox,
+		ops:   shardOpsCounter(name),
 		conns: make(map[int]*serverConn),
 	}
 	ownInbox := rt.inbox == nil
@@ -520,6 +524,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		}
 	}
 	if err != nil {
+		tmHandshakeRej.Inc()
+		obs.Default().Events().Record(obs.EventPreflightReject, id, name, err.Error())
 		s.dropPending(conn)
 		_ = conn.Close()
 		return
@@ -530,6 +536,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	tmHandshakeOK.Inc()
+	tmConnsProto.Inc()
 	defer func() {
 		// Unregister only if this connection is still the current one for
 		// the ID — a newer handshake may have replaced (and closed) it.
@@ -538,6 +546,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			delete(rt.conns, id)
 		}
 		rt.mu.Unlock()
+		tmConnsProto.Dec()
 		_ = conn.Close()
 	}()
 
@@ -546,6 +555,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		tmFramesIn.Inc()
 		msg, err := wire.Decode(payload)
 		if err != nil {
 			return
@@ -588,14 +598,21 @@ func (s *TCPServer) serveBlobConn(conn net.Conn, hello []byte) {
 		err = ackErr
 	}
 	if err != nil || !s.registerBlobConn(conn) {
+		if err != nil {
+			tmHandshakeRej.Inc()
+			obs.Default().Events().Record(obs.EventPreflightReject, -1, name, err.Error())
+		}
 		s.dropPending(conn)
 		_ = conn.Close()
 		return
 	}
+	tmHandshakeOK.Inc()
+	tmConnsBlob.Inc()
 	defer func() {
 		s.mu.Lock()
 		delete(s.blobConns, conn)
 		s.mu.Unlock()
+		tmConnsBlob.Dec()
 		_ = conn.Close()
 	}()
 
@@ -605,10 +622,12 @@ func (s *TCPServer) serveBlobConn(conn net.Conn, hello []byte) {
 		if err != nil {
 			return
 		}
+		tmFramesIn.Inc()
 		msg, err := wire.Decode(payload)
 		if err != nil {
 			return
 		}
+		tmBlobReqs.Inc()
 		resp := serveBlobMsg(bs, msg)
 		if resp == nil {
 			return // non-blob message on a blob connection: protocol error
@@ -662,14 +681,19 @@ func (s *TCPServer) dispatchQueue(q *fifo[tcpEnvelope]) {
 		if !ok {
 			return
 		}
+		e.rt.ops.Inc()
 		switch m := e.msg.(type) {
 		case *wire.Submit:
+			start := obs.StartTimer()
 			reply := e.rt.core.HandleSubmit(e.from, m)
+			tmSubmitNs.ObserveSince(start)
 			if reply != nil {
 				_ = e.rt.push(e.from, reply)
 			}
 		case *wire.Commit:
+			start := obs.StartTimer()
 			e.rt.core.HandleCommit(e.from, m)
+			tmCommitNs.ObserveSince(start)
 		default:
 			if gc, ok := e.rt.core.(GenericCore); ok {
 				gc.HandleMessage(e.from, e.msg)
@@ -875,6 +899,8 @@ func (c *tcpBlobChannel) roundTrip(build func(id uint32) wire.Message) (wire.Mes
 	ch := make(chan wire.Message, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
+	tmBlobInflight.Inc()
+	defer tmBlobInflight.Dec()
 
 	if err := writeFramedMsg(c.conn, &c.wmu, build(id)); err != nil {
 		c.mu.Lock()

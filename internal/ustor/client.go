@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"faust/internal/crypto"
+	"faust/internal/obs"
 	"faust/internal/transport"
 	"faust/internal/version"
 	"faust/internal/wire"
@@ -61,6 +63,7 @@ type Client struct {
 	signer *crypto.Signer
 	ring   *crypto.Keyring
 	onFail func(error)
+	events *obs.EventLog // protocol event sink for detections
 
 	// The link has its own lock: Close must be callable while an
 	// operation blocks in link.Recv holding c.mu, and Rebind must not
@@ -106,6 +109,15 @@ func WithFailHandler(f func(error)) ClientOption {
 	return func(c *Client) { c.onFail = f }
 }
 
+// WithEventLog redirects the client's protocol events (fork-detected,
+// rollback-detected) from the process-wide default log to the given one.
+// Tests use it to observe one client cluster in isolation; the FAUST layer
+// uses it to gather USTOR detections and its own notifications in a single
+// log.
+func WithEventLog(l *obs.EventLog) ClientOption {
+	return func(c *Client) { c.events = l }
+}
+
 // WithCommitPiggyback enables the Section 5 optimization: instead of
 // sending a separate COMMIT message after each operation, the COMMIT is
 // attached to the next operation's SUBMIT, halving the client's message
@@ -127,6 +139,7 @@ func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transpo
 		link:   link,
 		ver:    version.New(ring.N()),
 		memoC:  -1,
+		events: obs.Default().Events(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -238,6 +251,8 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 	if c.failed {
 		return OpResult{}, ErrHalted
 	}
+	start := obs.StartTimer()
+	defer cmWriteNs.ObserveSince(start)
 
 	t := c.ver.V[c.id] + 1
 	if x == nil {
@@ -293,6 +308,8 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 	if j < 0 || j >= c.n {
 		return ReadResult{}, fmt.Errorf("ustor: register %d out of range [0,%d)", j, c.n)
 	}
+	start := obs.StartTimer()
+	defer cmReadNs.ObserveSince(start)
 
 	t := c.ver.V[c.id] + 1
 	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpRead, j, t)
@@ -547,12 +564,21 @@ func (c *Client) Flush() error {
 }
 
 // fail records the detection, fires the fail_i output action once, halts
-// the client, and returns the detection error.
+// the client, and returns the detection error. The first detection also
+// lands in the protocol event log: the line 36 check (server version does
+// not extend the client's own) is the signature of replayed old state and
+// is classified as rollback-detected; every other failed check is
+// fork-detected evidence.
 func (c *Client) fail(check string) error {
 	err := &DetectionError{Client: c.id, Check: check}
 	if !c.failed {
 		c.failed = true
 		c.reason = err
+		kind := obs.EventFork
+		if strings.Contains(check, "(line 36)") {
+			kind = obs.EventRollback
+		}
+		c.events.Record(kind, c.id, "", check)
 		if c.onFail != nil {
 			c.onFail(err)
 		}

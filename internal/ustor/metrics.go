@@ -1,0 +1,24 @@
+package ustor
+
+import "faust/internal/obs"
+
+// Client-side observability: the full round-trip latency of one register
+// operation (sign + SUBMIT + REPLY + verify + COMMIT) as seen by the
+// caller. Process-wide histograms: every Client in the process reports
+// here, which is exactly the session view cmd/faust-client's `stats`
+// command wants.
+var (
+	cmWriteNs = obs.Default().Histogram("faust_client_op_latency_ns", "op", "write")
+	cmReadNs  = obs.Default().Histogram("faust_client_op_latency_ns", "op", "read")
+)
+
+func init() {
+	obs.Default().Help("faust_client_op_latency_ns",
+		"client-observed register operation round-trip latency, nanoseconds")
+}
+
+// OpLatency returns snapshots of the process-wide client-side operation
+// latency histograms.
+func OpLatency() (read, write obs.HistSnapshot) {
+	return cmReadNs.Snapshot(), cmWriteNs.Snapshot()
+}
