@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"faust/internal/blobfleet"
 	"faust/internal/byzantine"
 	"faust/internal/crypto"
 	"faust/internal/faustproto"
@@ -157,6 +158,7 @@ func main() {
 		{"kv", "E18: authenticated KV layer — value-size and key-count sweeps, cache ablation", expKV},
 		{"kvtree", "E19: O(log n) directories — Put/GetFrom cost vs key count, Merkle tree vs flat ablation", expKVTree},
 		{"lattail", "E20: latency tails (p50/p99/p999) under concurrent load, and the cost of metrics", expLatencyTail},
+		{"failover", "E21: blob-fleet failover — KV workload survives the primary's death; degraded vs recovered tails, tampered-replica ablation", expFailover},
 	}
 
 	want := map[string]bool{}
@@ -1343,4 +1345,219 @@ func fmtSize(n int) string {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "faust-bench: %v\n", err)
 	os.Exit(1)
+}
+
+// expFailover is E21: the robustness claim of the blob failover fleet.
+// A mixed KV workload (2 clients, cross-namespace reads) runs over a
+// fleet of two in-memory backends, the primary wrapped in a fault
+// injector. Mid-workload the primary is killed outright; the workload
+// must keep running with ZERO client-visible errors while the fleet
+// routes around the corpse (degraded phase), and after a probe
+// resurrects the revived primary the tails must come back down
+// (recovered phase). A second setup turns the primary byzantine
+// (FlipRate=1): every read it serves fails content-hash verification,
+// so the fleet must serve every blob from the honest secondary.
+func expFailover() {
+	const m = 2
+	opsPer := 150
+	if quick {
+		opsPer = 50
+	}
+
+	ring, signers := crypto.NewTestKeyring(m, 23)
+	primary := blobfleet.NewFaultyBlobs("primary", transport.NewMemBlobs(), blobfleet.FaultConfig{Seed: 1})
+	fleet, err := blobfleet.New([]blobfleet.Backend{
+		{Name: "primary", Store: primary},
+		{Name: "secondary", Store: transport.NewMemBlobs()},
+	}, blobfleet.Options{
+		WriteReplicas: 2,
+		ProbeInterval: -1, // phases drive ProbeNow explicitly
+		RetryAttempts: 2,
+		RetryBase:     200 * time.Microsecond,
+		RetryCap:      time.Millisecond,
+		Seed:          7,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer fleet.Close()
+
+	nw := transport.NewNetwork(m, ustor.NewServer(m), transport.WithBlobStore(fleet))
+	defer nw.Stop()
+	stores := make([]*kv.Store, m)
+	for i := range stores {
+		ch, err := nw.BlobChannel()
+		if err != nil {
+			fail(err)
+		}
+		st, err := kv.Open(ustor.NewClient(i, ring, signers[i], nw.ClientLink(i)), ch)
+		if err != nil {
+			fail(err)
+		}
+		stores[i] = st
+	}
+	w := workload.NewKV(m, workload.DefaultKVConfig())
+	for i, st := range stores { // seed every namespace
+		if op := w.Stream(i).NextPut(); st.Put(op.Key, op.Value) != nil {
+			fail(fmt.Errorf("seed put failed"))
+		}
+	}
+
+	// phase runs opsPer mixed KV ops per client, sampling per-op latency,
+	// and records a tail row. Any operation error fails the experiment:
+	// the whole claim is that backend faults stay invisible to clients.
+	phase := func(name string) (opsPerSec float64, p50, p99, p999 int64) {
+		samples := make([][]int64, m)
+		start := time.Now()
+		done := make(chan error, m)
+		for c := 0; c < m; c++ {
+			go func(c int) {
+				s := w.Stream(c)
+				lat := make([]int64, 0, opsPer)
+				for i := 0; i < opsPer; i++ {
+					var err error
+					t0 := time.Now()
+					switch op := s.Next(); op.Kind {
+					case workload.KVPut:
+						err = stores[c].Put(op.Key, op.Value)
+					case workload.KVGet:
+						if _, err = stores[c].Get(op.Key); errors.Is(err, kv.ErrNotFound) {
+							err = nil
+						}
+					case workload.KVGetFrom:
+						if _, err = stores[c].GetFrom(op.Owner, op.Key); errors.Is(err, kv.ErrNotFound) {
+							err = nil
+						}
+					case workload.KVDelete:
+						if err = stores[c].Delete(op.Key); errors.Is(err, kv.ErrNotFound) {
+							err = nil
+						}
+					}
+					lat = append(lat, time.Since(t0).Nanoseconds())
+					if err != nil {
+						done <- fmt.Errorf("%s: client %d op %d: %w", name, c, i, err)
+						return
+					}
+				}
+				samples[c] = lat
+				done <- nil
+			}(c)
+		}
+		for c := 0; c < m; c++ {
+			if err := <-done; err != nil {
+				fail(err)
+			}
+		}
+		wall := time.Since(start)
+		var all []int64
+		for _, s := range samples {
+			all = append(all, s...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(qq float64) int64 {
+			rank := int(qq * float64(len(all)))
+			if rank >= len(all) {
+				rank = len(all) - 1
+			}
+			return all[rank]
+		}
+		total := m * opsPer
+		p50, p99, p999 = q(0.50), q(0.99), q(0.999)
+		results = append(results, benchResult{
+			Experiment: "failover/" + name,
+			N:          m,
+			NsPerOp:    float64(wall.Nanoseconds()) / float64(total),
+			P50Ns:      float64(p50),
+			P99Ns:      float64(p99),
+			P999Ns:     float64(p999),
+		})
+		return float64(total) / wall.Seconds(), p50, p99, p999
+	}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	report := func(name string, ops float64, p50, p99, p999 int64) {
+		fmt.Printf("%-22s %12.0f %10.1f %10.1f %10.1f\n", name, ops, us(p50), us(p99), us(p999))
+	}
+	fmt.Printf("(%d clients, %d mixed KV ops each per phase; fleet: faulty primary + honest secondary, w=2)\n", m, opsPer)
+	fmt.Printf("%-22s %12s %10s %10s %10s\n", "phase", "ops/sec", "p50 us", "p99 us", "p999 us")
+
+	ops, p50, p99, p999 := phase("healthy")
+	report("healthy", ops, p50, p99, p999)
+
+	primary.Kill()
+	ops, p50, p99, p999 = phase("degraded")
+	report("degraded (primary dead)", ops, p50, p99, p999)
+	st := fleet.Stats()
+	if st.FailoverPuts == 0 {
+		fail(fmt.Errorf("degraded phase recorded no failover puts — the primary was never routed around"))
+	}
+	if st.BackendsDied == 0 {
+		fail(fmt.Errorf("the dead primary never left the rotation"))
+	}
+
+	primary.Revive()
+	fleet.ProbeNow()
+	if !fleet.Status()[0].Alive {
+		fail(fmt.Errorf("probe did not resurrect the revived primary"))
+	}
+	ops, p50, p99, p999 = phase("recovered")
+	report("recovered", ops, p50, p99, p999)
+
+	st = fleet.Stats()
+	fmt.Printf("fleet: %d failover puts, %d failover gets, %d retries, %d read repairs, %d deaths, %d revivals — 0 client-visible errors\n",
+		st.FailoverPuts, st.FailoverGets, st.Retries, st.ReadRepairs, st.BackendsDied, st.BackendsRevive)
+	recordValue("failover/failover-puts", m, float64(st.FailoverPuts), "ops")
+	recordValue("failover/failover-gets", m, float64(st.FailoverGets), "ops")
+	recordValue("failover/read-repairs", m, float64(st.ReadRepairs), "ops")
+
+	// Tampered-replica ablation: a byzantine primary whose every read is
+	// bit-flipped. Writes land intact (faults corrupt the wire on reads
+	// only), so every key is replicated; every read served by the primary
+	// fails verification inside the fleet and must fall through to the
+	// honest secondary without the KV layer ever seeing a bad chunk.
+	byz := blobfleet.NewFaultyBlobs("byzantine", transport.NewMemBlobs(), blobfleet.FaultConfig{Seed: 2, FlipRate: 1})
+	bfleet, err := blobfleet.New([]blobfleet.Backend{
+		{Name: "byzantine", Store: byz},
+		{Name: "honest", Store: transport.NewMemBlobs()},
+	}, blobfleet.Options{WriteReplicas: 2, ProbeInterval: -1, RetryAttempts: 1, Seed: 9})
+	if err != nil {
+		fail(err)
+	}
+	defer bfleet.Close()
+	bring, bsigners := crypto.NewTestKeyring(1, 29)
+	bnw := transport.NewNetwork(1, ustor.NewServer(1), transport.WithBlobStore(bfleet))
+	defer bnw.Stop()
+	bch, err := bnw.BlobChannel()
+	if err != nil {
+		fail(err)
+	}
+	// Caches off: every read must actually fetch from the fleet, or the
+	// byzantine replica would never be exercised.
+	bst, err := kv.Open(ustor.NewClient(0, bring, bsigners[0], bnw.ClientLink(0)), bch,
+		kv.WithChunkCacheBudget(0), kv.WithNodeCacheBudget(0), kv.WithValueCacheBudget(0))
+	if err != nil {
+		fail(err)
+	}
+	tamperOps := opsPer / 2
+	for i := 0; i < tamperOps; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		val := []byte(fmt.Sprintf("tamper-ablation value %d", i))
+		if err := bst.Put(key, val); err != nil {
+			fail(fmt.Errorf("tamper ablation put %d: %v", i, err))
+		}
+		got, err := bst.Get(key)
+		if err != nil {
+			fail(fmt.Errorf("tamper ablation get %d: %v", i, err))
+		}
+		if string(got) != string(val) {
+			fail(fmt.Errorf("tamper ablation get %d returned corrupt data", i))
+		}
+	}
+	bstats := bfleet.Stats()
+	if bstats.TamperSkips == 0 {
+		fail(fmt.Errorf("byzantine primary was never caught by content-hash verification"))
+	}
+	fmt.Printf("tamper ablation: %d reads, %d corrupt payloads skipped by verification, all served intact by the honest replica\n",
+		tamperOps, bstats.TamperSkips)
+	recordValue("failover/tamper-skips", 1, float64(bstats.TamperSkips), "skips")
 }

@@ -175,10 +175,12 @@ func (s *session) kvStore() (*kv.Store, error) {
 	if s.uc == nil {
 		return nil, errors.New("kv commands need USTOR mode (run without -listen/-peers)")
 	}
-	ch, err := transport.DialTCPBlob(s.server, s.shard)
-	if err != nil {
-		return nil, fmt.Errorf("opening blob channel: %w", err)
-	}
+	// A TCP blob channel is sticky-poisoned after any connection-level
+	// failure; the redial wrapper re-dials and retries (bounded) so a
+	// bounced server or dropped connection doesn't strand the KV session.
+	ch := transport.NewRedialBlobChannel(func() (transport.BlobChannel, error) {
+		return transport.DialTCPBlob(s.server, s.shard)
+	}, transport.RedialOptions{})
 	st, err := kv.Open(s.uc, ch)
 	if err != nil {
 		_ = ch.Close()

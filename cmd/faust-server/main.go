@@ -81,6 +81,20 @@
 // "successfully" — and the clients' Algorithm 1 checks then expose it
 // exactly as they expose a lying live server. The store protects against
 // crashes; fail-awareness protects against everything else.
+//
+// # Blob failover fleet
+//
+// -blob-backends replaces each shard's single bulk blob store with an
+// ordered failover fleet (internal/blobfleet): writes replicate to the
+// first W alive backends, reads fan through alive backends with content
+// verification and read repair, and per-backend EMA aliveness plus a
+// background prober route around dead members.
+//
+//	faust-server -data-dir /var/lib/faust -blob-backends dir,dir=mirror,w=2
+//
+// -blob-faults arms deterministic fault injection on one fleet backend
+// ("backend=0,errs=0.3,latency=2ms,seed=7") for failure drills and CI
+// smoke tests; see the package docs for both grammars.
 package main
 
 import (
@@ -93,6 +107,7 @@ import (
 	"syscall"
 	"time"
 
+	"faust/internal/blobfleet"
 	"faust/internal/obs"
 	"faust/internal/shard"
 	"faust/internal/store"
@@ -110,6 +125,8 @@ func main() {
 	shardsFile := flag.String("shards", "", "shard manifest file: one '<name> n=<clients> [persist]' per line")
 	shardSpec := flag.String("shard-spec", "", "template for lazily created shards, e.g. 'n=4,persist'; empty = reject undeclared shards")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /events, /debug/vars and /debug/pprof on this address; empty = disabled")
+	blobBackends := flag.String("blob-backends", "", "failover blob fleet per shard, e.g. 'dir,dir=mirror,mem,w=2'; empty = single default store")
+	blobFaults := flag.String("blob-faults", "", "fault-inject one fleet backend, e.g. 'backend=0,errs=0.3,latency=2ms,seed=7' (requires -blob-backends)")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -155,6 +172,18 @@ func main() {
 		def = &sp
 	}
 
+	fleetSpec, err := blobfleet.ParseFleetSpec(*blobBackends)
+	if err != nil {
+		log.Fatalf("faust-server: %v", err)
+	}
+	faultPlan, err := blobfleet.ParseFaultPlan(*blobFaults)
+	if err != nil {
+		log.Fatalf("faust-server: %v", err)
+	}
+	if faultPlan != nil && fleetSpec == nil {
+		log.Fatalf("faust-server: -blob-faults requires -blob-backends")
+	}
+
 	router, err := shard.NewRouter(specs, shard.Options{
 		BaseDir: *dataDir,
 		FileOptions: store.FileOptions{
@@ -164,6 +193,8 @@ func main() {
 		},
 		StoreOptions: store.Options{SnapshotEvery: *snapshotEvery},
 		Default:      def,
+		BlobFleet:    fleetSpec,
+		BlobFaults:   faultPlan,
 	})
 	if err != nil {
 		log.Fatalf("faust-server: %v", err)
@@ -178,6 +209,16 @@ func main() {
 	if defInfo.Persistent {
 		fmt.Printf("faust-server: recovered from %s (snapshot: %v, WAL records replayed: %d, fsync: %v, group-commit: %v)\n",
 			defInfo.Dir, defInfo.RecoveredSnapshot, defInfo.ReplayedRecords, *fsync, *groupCommit)
+	}
+	if fleetSpec != nil {
+		names := make([]string, 0, len(fleetSpec.Entries))
+		for _, st := range router.FleetStatus(transport.DefaultShard) {
+			names = append(names, st.Name)
+		}
+		fmt.Printf("faust-server: blob failover fleet per shard: %v\n", names)
+		if faultPlan != nil {
+			fmt.Printf("faust-server: fault injection armed on backend %d: %+v\n", faultPlan.Backend, faultPlan.Config)
+		}
 	}
 
 	if *metricsAddr != "" {

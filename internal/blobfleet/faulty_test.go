@@ -1,0 +1,153 @@
+package blobfleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"faust/internal/crypto"
+	"faust/internal/transport"
+)
+
+func putOne(t *testing.T, bs transport.BlobStore, data []byte) []byte {
+	t.Helper()
+	hash := crypto.Hash(data)
+	if err := bs.PutBlob(hash, data); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	return hash
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	fb := NewFaultyBlobs("b", transport.NewMemBlobs(), FaultConfig{})
+	data := []byte("hello fleet")
+	hash := putOne(t, fb, data)
+	got, err := fb.GetBlob(hash)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+	if c := fb.Counts(); c != (FaultCounts{}) {
+		t.Fatalf("zero-config wrapper injected faults: %+v", c)
+	}
+}
+
+func TestFaultyKillRevive(t *testing.T) {
+	fb := NewFaultyBlobs("b", transport.NewMemBlobs(), FaultConfig{})
+	data := []byte("survives the crash")
+	hash := putOne(t, fb, data)
+
+	fb.Kill()
+	if !fb.Killed() {
+		t.Fatal("Killed() = false after Kill")
+	}
+	if err := fb.PutBlob(hash, data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put on killed backend: %v, want ErrInjected", err)
+	}
+	if _, err := fb.GetBlob(hash); !errors.Is(err, ErrInjected) {
+		t.Fatalf("get on killed backend: %v, want ErrInjected", err)
+	}
+
+	fb.Revive()
+	got, err := fb.GetBlob(hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after revive: %q, %v", got, err)
+	}
+}
+
+func TestFaultyDeterministicErrors(t *testing.T) {
+	run := func() (errs int) {
+		fb := NewFaultyBlobs("b", transport.NewMemBlobs(), FaultConfig{Seed: 42, ErrRate: 0.5})
+		data := []byte("x")
+		hash := crypto.Hash(data)
+		for i := 0; i < 100; i++ {
+			if err := fb.PutBlob(hash, data); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error kind: %v", err)
+				}
+				errs++
+			}
+		}
+		return errs
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault streams: %d vs %d", a, b)
+	}
+	if a < 30 || a > 70 {
+		t.Fatalf("ErrRate 0.5 injected %d/100 errors", a)
+	}
+}
+
+func TestFaultyShortReadAndFlip(t *testing.T) {
+	inner := transport.NewMemBlobs()
+	fb := NewFaultyBlobs("b", inner, FaultConfig{Seed: 1, ShortReadRate: 1})
+	data := []byte("0123456789abcdef")
+	hash := putOne(t, fb, data)
+
+	got, err := fb.GetBlob(hash)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if len(got) != len(data)/2 {
+		t.Fatalf("short read returned %d bytes, want %d", len(got), len(data)/2)
+	}
+
+	fb.SetConfig(FaultConfig{FlipRate: 1})
+	got, err = fb.GetBlob(hash)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("FlipRate=1 returned an intact payload")
+	}
+	// The stored blob must stay intact: faults corrupt the wire, not the disk.
+	stored, err := inner.GetBlob(hash)
+	if err != nil || !bytes.Equal(stored, data) {
+		t.Fatalf("inner store corrupted: %q, %v", stored, err)
+	}
+	c := fb.Counts()
+	if c.ShortReads != 1 || c.BitFlips != 1 {
+		t.Fatalf("counts = %+v, want 1 short read and 1 bit flip", c)
+	}
+}
+
+func TestFaultyHangReleasedByRevive(t *testing.T) {
+	fb := NewFaultyBlobs("b", transport.NewMemBlobs(), FaultConfig{Seed: 1, HangRate: 1, HangFor: time.Minute})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fb.GetBlob(crypto.Hash([]byte("x")))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung op returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	fb.Revive()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released hang returned %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Revive did not release the hanging operation")
+	}
+}
+
+func TestFaultyHangTimesOut(t *testing.T) {
+	fb := NewFaultyBlobs("b", transport.NewMemBlobs(), FaultConfig{Seed: 1, HangRate: 1, HangFor: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := fb.GetBlob(crypto.Hash([]byte("x"))); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang: %v, want ErrInjected", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("hang returned before HangFor elapsed")
+	}
+	if c := fb.Counts(); c.Hangs != 1 {
+		t.Fatalf("counts = %+v, want 1 hang", c)
+	}
+}

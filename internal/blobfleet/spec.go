@@ -1,0 +1,215 @@
+package blobfleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"faust/internal/store"
+	"faust/internal/transport"
+)
+
+// FleetEntry is one backend in a parsed fleet spec.
+type FleetEntry struct {
+	Kind string // "dir" (file-backed under the shard directory) or "mem"
+	Name string // metrics/event label; defaulted to "<kind><index>"
+}
+
+// FleetSpec is a parsed -blob-backends value: an ordered backend list
+// plus the write replication factor.
+//
+// Grammar (comma-separated, spaces ignored):
+//
+//	dir | mem        one backend of that kind
+//	dir=NAME         same, with an explicit name
+//	w=N              write replication factor (default 2, capped at the
+//	                 fleet size)
+//
+// Example: "dir,dir=mirror,mem,w=2" — a primary on disk, a second disk
+// directory named "mirror", an in-memory third, writes to the first two
+// alive. The first dir entry uses the shard's legacy <dir>/blobs path so
+// existing single-backend deployments upgrade in place; later dir
+// entries get <dir>/blobs<index>.
+type FleetSpec struct {
+	Entries       []FleetEntry
+	WriteReplicas int
+}
+
+// ParseFleetSpec parses a -blob-backends flag value. Empty means no
+// fleet (the caller keeps its single default store) and returns nil.
+func ParseFleetSpec(s string) (*FleetSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &FleetSpec{}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(item, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "dir", "mem":
+			name := val
+			if name == "" {
+				name = fmt.Sprintf("%s%d", key, len(spec.Entries))
+			}
+			spec.Entries = append(spec.Entries, FleetEntry{Kind: key, Name: name})
+		case "w":
+			if !hasVal {
+				return nil, fmt.Errorf("blobfleet: spec %q: w needs a value (w=N)", s)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("blobfleet: spec %q: bad write replicas %q", s, val)
+			}
+			spec.WriteReplicas = n
+		default:
+			return nil, fmt.Errorf("blobfleet: spec %q: unknown entry %q (want dir, mem or w=N)", s, item)
+		}
+	}
+	if len(spec.Entries) == 0 {
+		return nil, fmt.Errorf("blobfleet: spec %q declares no backends", s)
+	}
+	return spec, nil
+}
+
+// FaultPlan is a parsed -blob-faults value: which backend index to wrap
+// in a FaultyBlobs and with what mix.
+//
+// Grammar (comma-separated key=value): backend=I (default 0), errs=P,
+// latency=D, jitter=D, hang=P, hangfor=D, short=P, flip=P, seed=N —
+// P a probability in [0,1], D a Go duration.
+//
+// Example: "backend=0,errs=0.3,latency=2ms,seed=7" makes the primary
+// fail 30% of operations and lag 2ms on the rest, reproducibly.
+type FaultPlan struct {
+	Backend int
+	Config  FaultConfig
+}
+
+// ParseFaultPlan parses a -blob-faults flag value. Empty means no
+// injection and returns nil.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	plan := &FaultPlan{}
+	bad := func(key, val string, err error) error {
+		return fmt.Errorf("blobfleet: faults %q: bad %s value %q: %v", s, key, val, err)
+	}
+	prob := func(key, val string) (float64, error) {
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, bad(key, val, err)
+		}
+		if p < 0 || p > 1 {
+			return 0, fmt.Errorf("blobfleet: faults %q: %s=%q out of [0,1]", s, key, val)
+		}
+		return p, nil
+	}
+	dur := func(key, val string) (time.Duration, error) {
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return 0, bad(key, val, err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("blobfleet: faults %q: negative %s", s, key)
+		}
+		return d, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(item, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !hasVal {
+			return nil, fmt.Errorf("blobfleet: faults %q: entry %q needs key=value", s, item)
+		}
+		var err error
+		switch key {
+		case "backend":
+			plan.Backend, err = strconv.Atoi(val)
+			if err != nil || plan.Backend < 0 {
+				return nil, bad(key, val, fmt.Errorf("want a backend index"))
+			}
+			err = nil
+		case "errs":
+			plan.Config.ErrRate, err = prob(key, val)
+		case "hang":
+			plan.Config.HangRate, err = prob(key, val)
+		case "short":
+			plan.Config.ShortReadRate, err = prob(key, val)
+		case "flip":
+			plan.Config.FlipRate, err = prob(key, val)
+		case "latency":
+			plan.Config.Latency, err = dur(key, val)
+		case "jitter":
+			plan.Config.Jitter, err = dur(key, val)
+		case "hangfor":
+			plan.Config.HangFor, err = dur(key, val)
+		case "seed":
+			plan.Config.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = bad(key, val, err)
+			}
+		default:
+			return nil, fmt.Errorf("blobfleet: faults %q: unknown key %q", s, key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// Build materializes the spec into a running Failover fleet for one
+// shard. dir is the shard's data directory ("" for an in-memory shard:
+// dir entries then degrade to mem backends, keeping the spec usable
+// across mixed tenants); fsync applies to every file-backed entry. plan,
+// when non-nil, wraps the indexed backend in a FaultyBlobs.
+func (s *FleetSpec) Build(dir string, fsync bool, opts Options, plan *FaultPlan) (*Failover, error) {
+	if plan != nil && plan.Backend >= len(s.Entries) {
+		return nil, fmt.Errorf("blobfleet: fault plan targets backend %d but the fleet has %d", plan.Backend, len(s.Entries))
+	}
+	if opts.WriteReplicas == 0 {
+		opts.WriteReplicas = s.WriteReplicas
+	}
+	backends := make([]Backend, 0, len(s.Entries))
+	dirs := 0
+	for i, e := range s.Entries {
+		var bs transport.BlobStore
+		kind := e.Kind
+		if kind == "dir" && dir == "" {
+			kind = "mem"
+		}
+		switch kind {
+		case "dir":
+			sub := "blobs"
+			if dirs > 0 {
+				sub = fmt.Sprintf("blobs%d", i)
+			}
+			dirs++
+			fb, err := store.OpenFileBlobs(filepath.Join(dir, sub), fsync)
+			if err != nil {
+				return nil, fmt.Errorf("blobfleet: opening backend %q: %w", e.Name, err)
+			}
+			bs = fb
+		case "mem":
+			bs = transport.NewMemBlobs()
+		}
+		if plan != nil && plan.Backend == i {
+			bs = NewFaultyBlobs(e.Name, bs, plan.Config)
+		}
+		backends = append(backends, Backend{Name: e.Name, Store: bs})
+	}
+	return New(backends, opts)
+}

@@ -32,6 +32,13 @@ const (
 	// EventBlobTamper: a reader recomputed a blob's content hash and it
 	// did not match the address it was fetched under.
 	EventBlobTamper EventKind = "blob-tamper"
+	// EventBackendDown: a blob backend's EMA aliveness fell below the
+	// dead threshold and the failover store stopped routing to it —
+	// the fleet is serving in degraded mode (see internal/blobfleet).
+	EventBackendDown EventKind = "blob-backend-down"
+	// EventBackendUp: a previously dead blob backend answered a probe
+	// (or live traffic) and was resurrected into the rotation.
+	EventBackendUp EventKind = "blob-backend-up"
 )
 
 // Event is one timestamped entry of the protocol event log. Client is the

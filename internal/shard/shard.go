@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"faust/internal/blobfleet"
 	"faust/internal/obs"
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -77,6 +78,13 @@ type Options struct {
 	// with the template's N and Persist (Name and Dir are ignored). Nil
 	// rejects unknown shard names.
 	Default *Spec
+	// BlobFleet, when non-nil, backs every shard's bulk blob channel with
+	// a failover fleet built from this spec instead of the single default
+	// store (in-memory shards degrade the spec's dir entries to mem —
+	// see blobfleet.FleetSpec.Build). BlobFaults optionally wraps one
+	// fleet backend in a fault injector.
+	BlobFleet  *blobfleet.FleetSpec
+	BlobFaults *blobfleet.FaultPlan
 }
 
 // Info describes one instantiated shard.
@@ -95,6 +103,7 @@ type instance struct {
 	core  transport.ServerCore
 	ps    *store.Persistent   // nil for in-memory shards
 	blobs transport.BlobStore // bulk blob channel backing (KV chunks)
+	fleet *blobfleet.Failover // nil without Options.BlobFleet; Close stops its prober
 }
 
 // pendingCreate tracks one shard's in-flight instantiation so concurrent
@@ -285,6 +294,7 @@ func (r *Router) ResolveShard(name string) (transport.ServerCore, error) {
 			if inst.ps != nil {
 				_ = inst.ps.Close()
 			}
+			inst.closeBlobs()
 			inst, err = nil, errors.New("shard: router closed")
 		} else {
 			r.open[name] = inst
@@ -302,39 +312,42 @@ func (r *Router) ResolveShard(name string) (transport.ServerCore, error) {
 }
 
 // create instantiates one shard, recovering persistent state if any.
-// Every shard also gets a blob store for the bulk channel: in-memory
-// shards an in-memory one, persistent shards a file-backed one under
-// <dir>/blobs so chunked KV values survive restarts with the registers.
+// Every shard also gets a blob store for the bulk channel: by default an
+// in-memory one for in-memory shards and a file-backed one under
+// <dir>/blobs for persistent shards (so chunked KV values survive
+// restarts with the registers); with Options.BlobFleet, a failover fleet
+// built from the spec instead.
 func (r *Router) create(sp Spec) (*instance, error) {
 	srv := ustor.NewServer(sp.N)
 	inst := &instance{
-		info:  Info{Name: sp.Name, N: sp.N, Persistent: sp.Persist},
-		core:  srv,
-		blobs: transport.NewMemBlobs(),
+		info: Info{Name: sp.Name, N: sp.N, Persistent: sp.Persist},
+		core: srv,
+	}
+	dir := ""
+	if sp.Persist {
+		dir = sp.Dir
+		if dir == "" {
+			dir = filepath.Join(r.opts.BaseDir, "shards", sp.Name)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("shard: creating %q data dir: %w", sp.Name, err)
+		}
+	}
+	if err := r.openBlobs(inst, sp, dir); err != nil {
+		return nil, err
 	}
 	if !sp.Persist {
 		return inst, nil
 	}
-	dir := sp.Dir
-	if dir == "" {
-		dir = filepath.Join(r.opts.BaseDir, "shards", sp.Name)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("shard: creating %q data dir: %w", sp.Name, err)
-	}
 	backend, err := store.OpenFile(dir, r.opts.FileOptions)
 	if err != nil {
+		inst.closeBlobs()
 		return nil, fmt.Errorf("shard: opening %q backend: %w", sp.Name, err)
 	}
-	blobs, err := store.OpenFileBlobs(filepath.Join(dir, "blobs"), r.opts.FileOptions.Fsync)
-	if err != nil {
-		_ = backend.Close()
-		return nil, fmt.Errorf("shard: opening %q blob store: %w", sp.Name, err)
-	}
-	inst.blobs = blobs
 	ps, err := store.Open(srv, backend, r.opts.StoreOptions)
 	if err != nil {
 		_ = backend.Close()
+		inst.closeBlobs()
 		return nil, fmt.Errorf("shard: recovering %q: %w", sp.Name, err)
 	}
 	inst.core = ps
@@ -342,6 +355,37 @@ func (r *Router) create(sp Spec) (*instance, error) {
 	inst.info.Dir = dir
 	inst.info.RecoveredSnapshot, inst.info.ReplayedRecords = ps.Recovered()
 	return inst, nil
+}
+
+// openBlobs picks the shard's bulk blob backing: a failover fleet when
+// one is configured, the legacy single store otherwise. dir is "" for
+// in-memory shards.
+func (r *Router) openBlobs(inst *instance, sp Spec, dir string) error {
+	if fs := r.opts.BlobFleet; fs != nil {
+		fleet, err := fs.Build(dir, r.opts.FileOptions.Fsync, blobfleet.Options{Shard: sp.Name}, r.opts.BlobFaults)
+		if err != nil {
+			return fmt.Errorf("shard: building %q blob fleet: %w", sp.Name, err)
+		}
+		inst.blobs, inst.fleet = fleet, fleet
+		return nil
+	}
+	if dir == "" {
+		inst.blobs = transport.NewMemBlobs()
+		return nil
+	}
+	blobs, err := store.OpenFileBlobs(filepath.Join(dir, "blobs"), r.opts.FileOptions.Fsync)
+	if err != nil {
+		return fmt.Errorf("shard: opening %q blob store: %w", sp.Name, err)
+	}
+	inst.blobs = blobs
+	return nil
+}
+
+// closeBlobs stops the shard's fleet prober, if it has a fleet.
+func (inst *instance) closeBlobs() {
+	if inst.fleet != nil {
+		_ = inst.fleet.Close()
+	}
 }
 
 // ResolveBlobs implements transport.BlobResolver: it returns the named
@@ -358,6 +402,18 @@ func (r *Router) ResolveBlobs(name string) (transport.BlobStore, error) {
 		return nil, fmt.Errorf("shard: shard %q closed", name)
 	}
 	return inst.blobs, nil
+}
+
+// FleetStatus reports an instantiated shard's blob fleet backends, in
+// fleet order. Nil when the shard is not open or runs without a fleet.
+func (r *Router) FleetStatus(name string) []blobfleet.BackendStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst, ok := r.open[name]
+	if !ok || inst.fleet == nil {
+		return nil
+	}
+	return inst.fleet.Status()
 }
 
 // Info returns the instantiation record of an open shard.
@@ -408,6 +464,7 @@ func (r *Router) Close() error {
 	rmShardsOpen.Set(0)
 	var errs []error
 	for name, inst := range r.open {
+		inst.closeBlobs()
 		if inst.ps == nil {
 			continue
 		}

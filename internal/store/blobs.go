@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -20,7 +21,23 @@ import (
 type FileBlobs struct {
 	dir   string
 	fsync bool
+	hooks BlobFaultHooks
 }
+
+// BlobFaultHooks lets the fault-injection harness (internal/blobfleet and
+// the crash-consistency tests) fail a put at the exact stages a real disk
+// would: before the data sync and before the publishing rename. A hook
+// returning a non-nil error aborts the put at that stage, leaving the
+// temp file to be cleaned up — the published namespace must never show a
+// torn blob, whichever stage failed.
+type BlobFaultHooks struct {
+	BeforeSync   func() error
+	BeforeRename func() error
+}
+
+// InjectFaults installs the fault hooks. Not safe to call concurrently
+// with puts; intended for test and bench setup.
+func (b *FileBlobs) InjectFaults(h BlobFaultHooks) { b.hooks = h }
 
 // OpenFileBlobs opens (creating if needed) a blob directory. With fsync,
 // blob files are synced before the rename that publishes them, making
@@ -52,6 +69,12 @@ func (b *FileBlobs) PutBlob(hash, data []byte) error {
 	dst := b.path(hash)
 	if _, err := os.Stat(dst); err == nil {
 		return nil
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// A stat failure that is NOT "absent" (permissions, I/O error)
+		// must not fall through into the write path as if the blob were
+		// simply new — surface it so the caller (and any failover layer
+		// above) can treat the backend as faulty.
+		return fmt.Errorf("store: stat blob: %w", err)
 	}
 	tmp, err := os.CreateTemp(b.dir, "put-*.tmp")
 	if err != nil {
@@ -66,6 +89,11 @@ func (b *FileBlobs) PutBlob(hash, data []byte) error {
 	if _, err := tmp.Write(data); err != nil {
 		return fmt.Errorf("store: writing blob: %w", err)
 	}
+	if h := b.hooks.BeforeSync; h != nil {
+		if err := h(); err != nil {
+			return fmt.Errorf("store: syncing blob: %w", err)
+		}
+	}
 	if b.fsync {
 		if err := tmp.Sync(); err != nil {
 			return fmt.Errorf("store: syncing blob: %w", err)
@@ -78,6 +106,12 @@ func (b *FileBlobs) PutBlob(hash, data []byte) error {
 		return fmt.Errorf("store: closing blob: %w", err)
 	}
 	tmp = nil
+	if h := b.hooks.BeforeRename; h != nil {
+		if err := h(); err != nil {
+			_ = os.Remove(name)
+			return fmt.Errorf("store: publishing blob: %w", err)
+		}
+	}
 	if err := os.Rename(name, dst); err != nil {
 		_ = os.Remove(name)
 		return fmt.Errorf("store: publishing blob: %w", err)
@@ -100,7 +134,7 @@ func (b *FileBlobs) PutBlob(hash, data []byte) error {
 func (b *FileBlobs) GetBlob(hash []byte) ([]byte, error) {
 	data, err := os.ReadFile(b.path(hash))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("store: blob %x: %w", hash, fs.ErrNotExist)
 		}
 		return nil, fmt.Errorf("store: reading blob: %w", err)

@@ -43,6 +43,15 @@ const MaxBlobSize = 8 << 20
 // configured for the requested shard.
 var ErrNoBlobStore = fmt.Errorf("transport: no blob store")
 
+// ErrBlobChannelBroken marks blob-channel failures caused by the
+// underlying connection (dial, send, receive, decode) rather than by the
+// request itself. A channel that returned such an error is permanently
+// poisoned; callers who want to survive transient drops wrap the channel
+// with NewRedialBlobChannel, which retries exactly these errors on a
+// fresh connection. Server-side answers (a rejected put, a store error, a
+// missing blob) are NOT tagged with it — redialing cannot fix those.
+var ErrBlobChannelBroken = errors.New("transport: blob channel broken")
+
 // BlobStore is the server-side storage of the bulk channel: a flat
 // content-addressed blob namespace. Implementations must be safe for
 // concurrent use. A missing blob reads as an error wrapping fs.ErrNotExist.

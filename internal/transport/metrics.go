@@ -34,6 +34,11 @@ var (
 	// volume of the bulk channel.
 	tmBlobInflight = obs.Default().Gauge("faust_blob_inflight")
 	tmBlobReqs     = obs.Default().Counter("faust_blob_requests_total")
+
+	// Fresh connections consumed by RedialBlobChannel wrappers after a
+	// poisoned channel (one increment per redial attempt, successful or
+	// not).
+	tmBlobRedials = obs.Default().Counter("faust_blob_redials_total")
 )
 
 func init() {
@@ -44,6 +49,7 @@ func init() {
 	r.Help("faust_ustor_op_latency_ns", "server-side handler latency per dispatched operation, nanoseconds")
 	r.Help("faust_blob_inflight", "blob-channel requests currently in flight (client side)")
 	r.Help("faust_blob_requests_total", "blob-channel requests served (server side)")
+	r.Help("faust_blob_redials_total", "blob-channel redials after connection failures (client side)")
 	r.Help("faust_shard_ops_total", "operations dispatched per shard")
 }
 

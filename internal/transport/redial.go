@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// A tcpBlobChannel is poisoned permanently by its first connection
+// failure: the sticky error fails every later call. That is the right
+// contract for the channel itself (callers must not silently lose
+// pipelined requests), but it makes one transient drop fatal to a whole
+// client session. RedialBlobChannel restores liveness at the layer
+// above: it owns a current channel and, when an operation fails with a
+// connection-level error (ErrBlobChannelBroken or ErrClosed from a died
+// channel), discards it, dials a fresh one and retries the operation —
+// a bounded number of times, with capped exponential backoff between
+// attempts. Server-side answers (rejected puts, store errors, missing
+// blobs) pass through untouched: a new connection cannot change them.
+//
+// Blob operations are idempotent by construction (puts are
+// content-addressed, gets are reads), so retrying a request whose fate
+// is unknown — the connection died after the frame was sent — is always
+// safe.
+
+// DefaultRedialAttempts is how many fresh connections one operation may
+// consume before its error is surfaced.
+const DefaultRedialAttempts = 3
+
+// RedialOptions tunes a RedialBlobChannel.
+type RedialOptions struct {
+	// Attempts caps redials per operation (DefaultRedialAttempts if <= 0).
+	Attempts int
+	// Backoff is the sleep before redial k, doubling each time and capped
+	// at BackoffCap. Defaults: 50ms, capped at 1s.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+// RedialBlobChannel is a BlobChannel that survives connection drops by
+// redialing. Safe for concurrent use; concurrent operations share one
+// underlying channel (and its pipelining) and one of them performs the
+// redial while the others wait for it.
+type RedialBlobChannel struct {
+	dial func() (BlobChannel, error)
+	opts RedialOptions
+
+	mu     sync.Mutex
+	ch     BlobChannel // nil until first use or after a discard
+	gen    int         // bumped on every successful redial
+	closed bool
+}
+
+var _ BlobChannel = (*RedialBlobChannel)(nil)
+
+// NewRedialBlobChannel wraps a dial function (typically a closure over
+// DialTCPBlob) in a redial-on-failure channel. The first connection is
+// dialed lazily on first use.
+func NewRedialBlobChannel(dial func() (BlobChannel, error), opts RedialOptions) *RedialBlobChannel {
+	if opts.Attempts <= 0 {
+		opts.Attempts = DefaultRedialAttempts
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &RedialBlobChannel{dial: dial, opts: opts}
+}
+
+// current returns the live channel and its generation, dialing if none
+// is open. gen lets a failing caller tell "the channel I used is still
+// installed" from "someone already replaced it" — in the latter case it
+// retries on the replacement without burning a redial of its own.
+func (r *RedialBlobChannel) current() (BlobChannel, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, ErrClosed
+	}
+	if r.ch == nil {
+		ch, err := r.dial()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: redial: %v", ErrBlobChannelBroken, err)
+		}
+		r.ch = ch
+		r.gen++
+	}
+	return r.ch, r.gen, nil
+}
+
+// discard drops the channel of generation gen (if still installed) so
+// the next current() dials fresh. Returns true if this caller did the
+// discarding (and thus should pay the backoff sleep).
+func (r *RedialBlobChannel) discard(gen int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen != gen || r.ch == nil {
+		return false // someone else already replaced it
+	}
+	_ = r.ch.Close()
+	r.ch = nil
+	return true
+}
+
+// retryable reports whether err indicates a dead connection rather than
+// a server-side answer.
+func retryable(err error) bool {
+	return errors.Is(err, ErrBlobChannelBroken) || errors.Is(err, ErrClosed)
+}
+
+// do runs op against the current channel, redialing on connection death.
+func (r *RedialBlobChannel) do(op func(ch BlobChannel) error) error {
+	backoff := r.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.Attempts; attempt++ {
+		ch, gen, err := r.current()
+		if err != nil {
+			if !retryable(err) {
+				return err
+			}
+			lastErr = err
+		} else {
+			err = op(ch)
+			if err == nil || !retryable(err) {
+				return err
+			}
+			lastErr = err
+			r.discard(gen)
+		}
+		tmBlobRedials.Inc()
+		if attempt < r.opts.Attempts {
+			r.opts.Sleep(backoff)
+			if backoff *= 2; backoff > r.opts.BackoffCap {
+				backoff = r.opts.BackoffCap
+			}
+		}
+	}
+	return fmt.Errorf("transport: blob channel still failing after %d redials: %w", r.opts.Attempts, lastErr)
+}
+
+// PutBlob implements BlobChannel.
+func (r *RedialBlobChannel) PutBlob(hash, data []byte) error {
+	return r.do(func(ch BlobChannel) error { return ch.PutBlob(hash, data) })
+}
+
+// GetBlob implements BlobChannel.
+func (r *RedialBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+	var out []byte
+	err := r.do(func(ch BlobChannel) error {
+		var err error
+		out, err = ch.GetBlob(hash)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close implements BlobChannel: it closes the current connection and
+// rejects further operations.
+func (r *RedialBlobChannel) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.ch != nil {
+		err := r.ch.Close()
+		r.ch = nil
+		return err
+	}
+	return nil
+}

@@ -870,11 +870,13 @@ func (c *tcpBlobChannel) readLoop() {
 }
 
 // fail poisons the channel: the sticky error is recorded and every
-// in-flight caller is released with it (closed channel).
+// in-flight caller is released with it (closed channel). The sticky
+// error wraps ErrBlobChannelBroken so redialing wrappers can recognize
+// connection-level death.
 func (c *tcpBlobChannel) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
-		c.err = err
+		c.err = fmt.Errorf("%w: %v", ErrBlobChannelBroken, err)
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
@@ -908,7 +910,9 @@ func (c *tcpBlobChannel) roundTrip(build func(id uint32) wire.Message) (wire.Mes
 			delete(c.pending, id)
 		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: blob send: %w", err)
+		// A failed frame write means the connection is gone; tag it so a
+		// redialing wrapper knows a fresh dial may succeed.
+		return nil, fmt.Errorf("transport: blob send: %w: %v", ErrBlobChannelBroken, err)
 	}
 	m, ok := <-ch
 	if !ok {
