@@ -1,0 +1,86 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+
+	"faust/internal/crypto"
+)
+
+// fuzzLeaf returns a valid leaf node: keys sorted and distinct, each
+// entry's chunk list consistent with its size.
+func fuzzLeaf() *node {
+	mk := func(key string, size int64, nchunks int) entry {
+		e := entry{Key: key, Size: size}
+		for i := 0; i < nchunks; i++ {
+			e.Chunks = append(e.Chunks, crypto.Hash([]byte{byte(i)}))
+		}
+		return e
+	}
+	return &node{leaf: true, entries: []entry{
+		mk("alpha", 0, 0),
+		mk("beta", 12, 1),
+		mk("gamma", 1<<20, 3),
+	}}
+}
+
+// fuzzInterior returns a valid interior node: child minKeys sorted and
+// distinct, counts positive.
+func fuzzInterior() *node {
+	return &node{children: []childRef{
+		{minKey: "alpha", count: 2, bytes: 40, hash: crypto.Hash([]byte("left"))},
+		{minKey: "beta", count: 1, bytes: 0, hash: crypto.Hash([]byte("right"))},
+	}}
+}
+
+// FuzzNodeDecode checks that the tree-node codec is strictly canonical:
+// every byte string decodeNode accepts re-encodes to exactly itself.
+// Node hashes ARE hashes of encodings — if two byte strings decoded to
+// the same node, a lying server could serve either under one authenticated
+// hash, so acceptance of non-canonical encodings would be a hole in the
+// directory tree's integrity story.
+func FuzzNodeDecode(f *testing.F) {
+	f.Add(encodeNode(fuzzLeaf()))
+	f.Add(encodeNode(fuzzInterior()))
+	f.Add(encodeNode(&node{leaf: true})) // empty leaf (empty directory)
+	// Malformed seeds: bad magic, truncated, trailing byte.
+	f.Add([]byte("FKVX"))
+	f.Add(encodeNode(fuzzLeaf())[:9])
+	f.Add(append(encodeNode(fuzzInterior()), 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := decodeNode(data)
+		if err != nil {
+			return
+		}
+		if re := encodeNode(n); !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical node encoding:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzRootDecode checks the same canonicality property for the root
+// record, whose encoding is what the fail-aware register actually
+// stores: decodeRoot must accept exactly the byte strings encodeRoot
+// can produce for internally consistent records.
+func FuzzRootDecode(f *testing.F) {
+	f.Add(encodeRoot(&rootRecord{Gen: 7, RootHash: emptyTreeRoot}))
+	f.Add(encodeRoot(&rootRecord{
+		Gen: 9, NumEntries: 3, TotalBytes: 1 << 21, Height: 2,
+		RootHash: crypto.Hash([]byte("root")),
+	}))
+	// Malformed seeds: wrong magic, truncated, trailing byte.
+	f.Add([]byte("FKVR1"))
+	f.Add(encodeRoot(&rootRecord{Gen: 1, RootHash: emptyTreeRoot})[:10])
+	f.Add(append(encodeRoot(&rootRecord{Gen: 1, RootHash: emptyTreeRoot}), 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr, err := decodeRoot(data)
+		if err != nil {
+			return
+		}
+		if re := encodeRoot(rr); !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical root encoding:\n in: %x\nout: %x", data, re)
+		}
+	})
+}

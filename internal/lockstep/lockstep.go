@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"faust/internal/crypto"
+	"faust/internal/obs"
 	"faust/internal/transport"
 	"faust/internal/wire"
 )
@@ -175,6 +176,7 @@ type Client struct {
 	failed   bool
 	reason   error
 	onDetect func(error)
+	events   *obs.EventLog
 }
 
 // ClientOption configures a Client.
@@ -194,6 +196,7 @@ func NewClient(id int, ring *crypto.Keyring, signer *crypto.Signer, link transpo
 		ring:    ring,
 		link:    link,
 		regHash: make(map[int][]byte, ring.N()),
+		events:  obs.Default().Events(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -235,6 +238,7 @@ func (c *Client) WriteCrashBeforeCommit(x []byte) error {
 	if c.failed {
 		return ErrHalted
 	}
+	//faustlint:ignore lockheldio c.mu is the per-client session lock; a lock-step round is deliberately serialized under it (the protocol admits one operation at a time)
 	if err := c.link.Send(&wire.LSSubmit{Op: wire.OpWrite, Reg: c.id, Value: x, HaveSeq: c.seq}); err != nil {
 		return fmt.Errorf("lockstep: submit: %w", err)
 	}
@@ -253,6 +257,7 @@ func (c *Client) op(op wire.OpCode, reg int, value []byte) ([]byte, error) {
 	if reg < 0 || reg >= c.n {
 		return nil, fmt.Errorf("lockstep: register %d out of range [0,%d)", reg, c.n)
 	}
+	//faustlint:ignore lockheldio c.mu is the per-client session lock; a lock-step round is deliberately serialized under it (the protocol admits one operation at a time)
 	if err := c.link.Send(&wire.LSSubmit{Op: op, Reg: reg, Value: value, HaveSeq: c.seq}); err != nil {
 		return nil, fmt.Errorf("lockstep: submit: %w", err)
 	}
@@ -292,6 +297,7 @@ func (c *Client) op(op wire.OpCode, reg int, value []byte) ([]byte, error) {
 		ChainHash: append([]byte(nil), c.chain...),
 		Sig:       c.signer.Sign(crypto.DomainLSChain, c.chain),
 	}
+	//faustlint:ignore lockheldio c.mu is the per-client session lock; the COMMIT must leave before the next operation starts, so it stays inside the round
 	if err := c.link.Send(&wire.LSCommit{Record: rec}); err != nil {
 		return nil, fmt.Errorf("lockstep: commit: %w", err)
 	}
@@ -344,6 +350,11 @@ func (c *Client) fail(check string) error {
 	if !c.failed {
 		c.failed = true
 		c.reason = err
+		// Detection must be visible, not just halting: the same
+		// fork-detected / failure pair USTOR emits, so dashboards see both
+		// protocols through one event stream.
+		c.events.Record(obs.EventFork, c.id, "", check)
+		c.events.Record(obs.EventFail, c.id, "", err.Error())
 		if c.onDetect != nil {
 			c.onDetect(err)
 		}

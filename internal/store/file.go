@@ -413,6 +413,7 @@ func appendFramed(buf []byte, rec Record) ([]byte, error) {
 	buf = wire.AppendEncode(buf, rec.Msg)
 	payload := buf[start+frameHeader:]
 	if len(payload) > maxRecord {
+		//faustlint:ignore hotpathalloc oversize-record rejection path; allocating the error here is fine because the record is discarded anyway
 		return buf[:start], fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
 	}
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -443,25 +444,38 @@ func (b *FileBackend) Append(rec Record) error {
 		}
 		return err
 	}
+	b.mu.Unlock()
+
+	// Immediate mode: the write and sync syscalls run under flushMu, the
+	// I/O serialization lock, so the state lock is never held across disk
+	// I/O (readers of off/gen are not stalled behind an fsync). flushMu
+	// also orders immediate appends against segment rotation.
 	buf, err := appendFramed(nil, rec)
 	if err != nil {
-		b.mu.Unlock()
 		return err
 	}
-	if _, err := b.wal.Write(buf); err != nil {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.mu.Lock()
+	if b.closed {
 		b.mu.Unlock()
+		return errors.New("store: backend closed")
+	}
+	wal, off := b.wal, b.off
+	b.mu.Unlock()
+	if _, err := wal.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("store: appending WAL record: %w", err)
 	}
-	b.off += int64(len(buf))
 	if b.opts.Fsync {
 		start := obs.StartTimer()
-		err := b.wal.Sync()
+		err := wal.Sync()
 		smFsyncNs.ObserveSince(start)
 		if err != nil {
-			b.mu.Unlock()
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
 	}
+	b.mu.Lock()
+	b.off = off + int64(len(buf))
 	b.mu.Unlock()
 	smAppends.Inc()
 	return nil
@@ -569,11 +583,17 @@ func (b *FileBackend) WriteSnapshot(state []byte) error {
 		}
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return errors.New("store: backend closed")
 	}
 	next := b.gen + 1
+	b.mu.Unlock()
+
+	// The heavy I/O — snapshot write, segment creation, syncs — runs with
+	// only flushMu held. Appenders keep making progress: group-commit
+	// appends buffer under the state lock, and immediate-mode appends
+	// queue on flushMu exactly as they would behind a flush.
 	if err := writeSnapshotFile(filepath.Join(b.dir, snapName(next)), state, b.opts.Fsync); err != nil {
 		return fmt.Errorf("store: writing snapshot %d: %w", next, err)
 	}
@@ -598,12 +618,14 @@ func (b *FileBackend) WriteSnapshot(state []byte) error {
 			return err
 		}
 	}
+	b.mu.Lock()
 	old := b.gen
 	_ = b.wal.Close()
 	b.wal = wal
 	b.gen = next
 	b.off = int64(len(walMagic))
 	b.preallocEnd = b.off
+	b.mu.Unlock()
 	_ = os.Remove(filepath.Join(b.dir, walName(old)))
 	if old > 0 {
 		_ = os.Remove(filepath.Join(b.dir, snapName(old)))
@@ -625,20 +647,25 @@ func (b *FileBackend) Close() error {
 		flushErr = b.flushLocked() // still close below; error propagated after
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return nil
 	}
 	b.closed = true
-	if b.off < b.preallocEnd {
+	wal, off, preallocEnd := b.wal, b.off, b.preallocEnd
+	b.mu.Unlock()
+	// closed is set: every other path checks it under the state lock
+	// before touching b.wal, so the final trim/sync/close can run on the
+	// captured handle without holding b.mu across the syscalls.
+	if off < preallocEnd {
 		// Trim the preallocated zeros: a gracefully closed segment ends at
 		// its last record, so only a crash leaves padding for recovery.
-		_ = b.wal.Truncate(b.off)
+		_ = wal.Truncate(off)
 	}
 	if b.opts.Fsync {
-		_ = b.wal.Sync()
+		_ = wal.Sync()
 	}
-	if err := b.wal.Close(); err != nil {
+	if err := wal.Close(); err != nil {
 		return err
 	}
 	// A failed final flush means buffered records were dropped — a graceful

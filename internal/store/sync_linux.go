@@ -3,6 +3,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"syscall"
 )
@@ -14,7 +15,7 @@ import (
 func datasync(f *os.File) error {
 	for {
 		err := syscall.Fdatasync(int(f.Fd()))
-		if err != syscall.EINTR {
+		if !errors.Is(err, syscall.EINTR) {
 			return err
 		}
 	}

@@ -161,14 +161,14 @@ func WithSharedDispatcher() TCPOption {
 // writeFramedMsg frames and writes one message as a single Write call
 // under the given write lock, encoding into a pooled buffer. Both
 // directions of the protocol (server pushes, client sends) share it.
-func writeFramedMsg(conn net.Conn, mu *sync.Mutex, m wire.Message) error {
+func writeFramedMsg(conn net.Conn, wmu *sync.Mutex, m wire.Message) error {
 	buf := wire.GetBuffer()
 	b := append((*buf)[:0], 0, 0, 0, 0)
 	b = wire.AppendEncode(b, m)
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-	mu.Lock()
+	wmu.Lock()
 	_, err := conn.Write(b)
-	mu.Unlock()
+	wmu.Unlock()
 	*buf = b // keep any growth for the pool
 	wire.PutBuffer(buf)
 	tmFramesOut.Inc()
@@ -180,12 +180,12 @@ func writeFramedMsg(conn net.Conn, mu *sync.Mutex, m wire.Message) error {
 // replies) cannot interleave frames on the stream.
 type serverConn struct {
 	conn net.Conn
-	mu   sync.Mutex
+	wmu  sync.Mutex // write-serialization lock: held across conn.Write by design
 }
 
 // writeMsg frames and writes one message atomically.
 func (c *serverConn) writeMsg(m wire.Message) error {
-	return writeFramedMsg(c.conn, &c.mu, m)
+	return writeFramedMsg(c.conn, &c.wmu, m)
 }
 
 // tcpEnvelope tags an arriving message with its sender and shard.
@@ -320,23 +320,30 @@ func (s *TCPServer) Stop() {
 		return
 	}
 	s.stopped = true
-	_ = s.ln.Close()
+	conns := make([]net.Conn, 0, len(s.pending)+len(s.blobConns))
 	for c := range s.pending {
-		_ = c.Close()
+		conns = append(conns, c)
 	}
 	for c := range s.blobConns {
-		_ = c.Close()
+		conns = append(conns, c)
 	}
 	rts := make([]*shardRT, 0, len(s.shards))
 	for _, rt := range s.shards {
 		rt.mu.Lock()
 		for _, sc := range rt.conns {
-			_ = sc.conn.Close()
+			conns = append(conns, sc.conn)
 		}
 		rt.mu.Unlock()
 		rts = append(rts, rt)
 	}
 	s.mu.Unlock()
+
+	// The close syscalls run outside the state locks: stopped is set, so
+	// register admits nothing new and the snapshot above is complete.
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
 
 	if s.sharedInbox != nil {
 		s.sharedInbox.close()
@@ -657,17 +664,21 @@ func (s *TCPServer) registerBlobConn(conn net.Conn) bool {
 // neither set. Returns false when the server stopped meanwhile.
 func (s *TCPServer) register(rt *shardRT, id int, sc *serverConn) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.pending, sc.conn)
 	if s.stopped {
+		s.mu.Unlock()
 		return false
 	}
 	rt.mu.Lock()
-	if old, dup := rt.conns[id]; dup {
-		_ = old.conn.Close()
-	}
+	old, dup := rt.conns[id]
 	rt.conns[id] = sc
 	rt.mu.Unlock()
+	s.mu.Unlock()
+	if dup {
+		// The superseded connection is out of the registry, so nothing else
+		// writes to it — its close syscall needs no lock.
+		_ = old.conn.Close()
+	}
 	return true
 }
 

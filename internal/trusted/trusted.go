@@ -77,12 +77,14 @@ func NewClient(id, n int, link transport.Link) *Client {
 func (c *Client) Write(x []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//faustlint:ignore lockheldio c.mu is the session lock of the trusted baseline; one request-reply round per operation is the point of the baseline
 	if err := c.link.Send(&wire.Submit{
 		Inv:   wire.Invocation{Client: c.id, Op: wire.OpWrite, Reg: c.id},
 		Value: x,
 	}); err != nil {
 		return fmt.Errorf("trusted: submit: %w", err)
 	}
+	//faustlint:ignore lockheldio c.mu is the session lock of the trusted baseline; the reply belongs to the request sent above
 	if _, err := c.link.Recv(); err != nil {
 		return fmt.Errorf("trusted: reply: %w", err)
 	}
@@ -96,11 +98,13 @@ func (c *Client) Read(j int) ([]byte, error) {
 	if j < 0 || j >= c.n {
 		return nil, fmt.Errorf("trusted: register %d out of range [0,%d)", j, c.n)
 	}
+	//faustlint:ignore lockheldio c.mu is the session lock of the trusted baseline; one request-reply round per operation is the point of the baseline
 	if err := c.link.Send(&wire.Submit{
 		Inv: wire.Invocation{Client: c.id, Op: wire.OpRead, Reg: j},
 	}); err != nil {
 		return nil, fmt.Errorf("trusted: submit: %w", err)
 	}
+	//faustlint:ignore lockheldio c.mu is the session lock of the trusted baseline; the reply belongs to the request sent above
 	m, err := c.link.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("trusted: reply: %w", err)

@@ -273,6 +273,7 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
+	//faustlint:ignore lockheldio c.mu is the USTOR session lock; Algorithm 1 serializes a client's own SUBMIT..COMMIT round, and wait-freedom is across clients, not within one
 	if err := c.getLink().Send(submit); err != nil {
 		return OpResult{}, fmt.Errorf("ustor: submitting write: %w", err)
 	}
@@ -323,6 +324,7 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
+	//faustlint:ignore lockheldio c.mu is the USTOR session lock; Algorithm 1 serializes a client's own SUBMIT..COMMIT round, and wait-freedom is across clients, not within one
 	if err := c.getLink().Send(submit); err != nil {
 		return ReadResult{}, fmt.Errorf("ustor: submitting read: %w", err)
 	}
@@ -557,6 +559,7 @@ func (c *Client) Flush() error {
 	if msg == nil {
 		return nil
 	}
+	//faustlint:ignore lockheldio c.mu is the USTOR session lock; the deferred COMMIT must leave before any new operation reuses the session
 	if err := c.getLink().Send(msg); err != nil {
 		return fmt.Errorf("ustor: flushing commit: %w", err)
 	}

@@ -92,7 +92,7 @@ func (b *BlobAck) encodeBody(buf []byte) []byte {
 	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	buf = appendBool(buf, b.OK)
-	return appendBytes(buf, []byte(b.Msg))
+	return appendString(buf, b.Msg)
 }
 
 func (b *BlobGet) encodeBody(buf []byte) []byte {
@@ -122,7 +122,7 @@ func decodeBlob(kind Kind, r *reader) Message {
 		b.ID = r.u32()
 		b.Hash = r.bytes()
 		b.OK = r.bool()
-		b.Msg = string(r.bytes())
+		b.Msg = r.str()
 		return b
 	case KindBlobGet:
 		b := &BlobGet{}

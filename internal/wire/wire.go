@@ -324,6 +324,15 @@ func appendBool(buf []byte, b bool) []byte {
 	return append(buf, 0)
 }
 
+// appendString encodes a string as u32 length + bytes. Unlike
+// appendBytes there is no nil sentinel: Go strings have no nil/empty
+// distinction, so giving them one on the wire would create two
+// encodings of "" and break canonical round-trips.
+func appendString(buf []byte, s string) []byte {
+	buf = appendU32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
 func appendVersion(buf []byte, v version.Version) []byte {
 	buf = appendU32(buf, uint32(len(v.V)))
 	for _, t := range v.V {
@@ -414,7 +423,37 @@ func (r *reader) bytes() []byte {
 	return out
 }
 
-func (r *reader) bool() bool { return r.u8() != 0 }
+// bool accepts exactly 0 or 1. Any other byte is rejected so that every
+// accepted frame has a single canonical encoding — a forwarder that
+// re-encodes a message must produce the very bytes that were signed.
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail()
+		return false
+	}
+}
+
+// str decodes an appendString value. The nil sentinel is rejected: ""
+// has exactly one encoding (length 0).
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || n == nilSentinel {
+		r.fail()
+		return ""
+	}
+	if uint32(len(r.data)) < n {
+		r.fail()
+		return ""
+	}
+	out := string(r.data[:n])
+	r.data = r.data[n:]
+	return out
+}
 
 // maxVectorLen bounds decoded vector sizes to keep a malicious peer from
 // forcing huge allocations.

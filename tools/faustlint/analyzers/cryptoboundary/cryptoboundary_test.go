@@ -1,0 +1,14 @@
+package cryptoboundary_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"faust/tools/faustlint/analyzers/cryptoboundary"
+)
+
+func TestCryptoBoundary(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cryptoboundary.Analyzer,
+		"a", "x/internal/crypto")
+}

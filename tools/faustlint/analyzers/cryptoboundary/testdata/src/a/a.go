@@ -1,0 +1,40 @@
+// Fixture for the cryptoboundary analyzer: a package outside
+// internal/crypto touching raw primitives.
+package a
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+)
+
+func rawSign(priv ed25519.PrivateKey, msg []byte) []byte {
+	return ed25519.Sign(priv, msg) // want `raw ed25519\.Sign outside internal/crypto`
+}
+
+func rawVerify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return ed25519.Verify(pub, msg, sig) // want `raw ed25519\.Verify outside internal/crypto`
+}
+
+func rawDigest(b []byte) [32]byte {
+	return sha256.Sum256(b) // want `raw sha256\.Sum256 outside internal/crypto`
+}
+
+func rawHasher() int {
+	h := sha256.New() // want `raw sha256\.New outside internal/crypto`
+	return h.Size()
+}
+
+func rawKeygen() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(nil) // want `raw ed25519\.GenerateKey outside internal/crypto`
+}
+
+// Constants stay usable: only operations are guarded.
+const keySize = ed25519.PublicKeySize
+
+var digestSize = sha256.Size
+
+// justified ignore: a test-vector helper allowed to go raw.
+func knownAnswer(b []byte) [32]byte {
+	//faustlint:ignore cryptoboundary RFC test vector check needs the undomained digest
+	return sha256.Sum256(b)
+}

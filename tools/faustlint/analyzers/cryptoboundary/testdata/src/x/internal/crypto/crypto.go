@@ -1,0 +1,16 @@
+// Fixture: the crypto package itself is allowed to touch primitives —
+// its import path ends in internal/crypto.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+)
+
+func Hash(b []byte) [32]byte {
+	return sha256.Sum256(b)
+}
+
+func Sign(priv ed25519.PrivateKey, msg []byte) []byte {
+	return ed25519.Sign(priv, msg)
+}

@@ -1,0 +1,141 @@
+// Package erroriscmp flags ==/!= comparisons of error values against
+// sentinel errors, the bug class PR 7 fixed in store.FileBlobs: an
+// error that arrives wrapped (fmt.Errorf("...: %w", fs.ErrNotExist))
+// never compares equal to its sentinel, so the comparison silently
+// takes the wrong branch — a missing blob masquerading as an I/O
+// failure or vice versa. errors.Is unwraps; == does not.
+//
+// A comparison is flagged when one operand's static type is the error
+// interface, the other operand is not the nil literal, and at least one
+// operand refers to a package-level variable or constant (the sentinel:
+// io.EOF, fs.ErrNotExist, syscall.EINTR, wire.ErrCodec...). Comparisons
+// of two local error variables (identity checks) are left alone, as are
+// comparisons in switch statements over a non-error tag. Case clauses
+// of a switch over an error value are checked the same way.
+package erroriscmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"faust/tools/faustlint/internal/directive"
+)
+
+// Analyzer is the erroriscmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "erroriscmp",
+	Doc:      "flags ==/!= against sentinel errors; wrapped errors need errors.Is",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var _ = directive.Register(Analyzer.Name)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dp := directive.New(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil), (*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op != token.EQL && e.Op != token.NEQ {
+				return
+			}
+			if isNilLiteral(pass, e.X) || isNilLiteral(pass, e.Y) {
+				return
+			}
+			if !isErrorType(pass, e.X) && !isErrorType(pass, e.Y) {
+				return
+			}
+			if sent := sentinelName(pass, e.X); sent != "" {
+				report(dp, e.Pos(), e.Op, sent)
+			} else if sent := sentinelName(pass, e.Y); sent != "" {
+				report(dp, e.Pos(), e.Op, sent)
+			}
+		case *ast.SwitchStmt:
+			if e.Tag == nil || !isErrorType(pass, e.Tag) {
+				return
+			}
+			for _, c := range e.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					if isNilLiteral(pass, expr) {
+						continue
+					}
+					if sent := sentinelName(pass, expr); sent != "" {
+						dp.Reportf(expr.Pos(),
+							"switch-case comparison of an error against sentinel %s uses ==; wrapped errors never match — use if/else with errors.Is",
+							sent)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func report(dp *directive.Pass, pos token.Pos, op token.Token, sentinel string) {
+	verb := "=="
+	if op == token.NEQ {
+		verb = "!="
+	}
+	dp.Reportf(pos,
+		"error %s %s misses wrapped errors; use errors.Is (the store.FileBlobs bug class from PR 7)",
+		verb, sentinel)
+}
+
+// isErrorType reports whether expr's static type is the error
+// interface itself.
+func isErrorType(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isNilLiteral reports whether expr is the predeclared nil.
+func isNilLiteral(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && tv.IsNil()
+}
+
+// sentinelName returns "pkg.Name" when expr refers to a package-level
+// variable or constant (a sentinel), "" otherwise.
+func sentinelName(pass *analysis.Pass, expr ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return ""
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return ""
+	}
+	// Package-level: the object's parent scope is its package scope.
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

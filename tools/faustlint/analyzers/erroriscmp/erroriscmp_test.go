@@ -1,0 +1,13 @@
+package erroriscmp_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"faust/tools/faustlint/analyzers/erroriscmp"
+)
+
+func TestErrorIsCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), erroriscmp.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+// Fixture for the erroriscmp analyzer.
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCodec is a package-level sentinel, like wire.ErrCodec.
+var ErrCodec = errors.New("a: malformed frame")
+
+func read() ([]byte, error) { return nil, io.EOF }
+
+func eqSentinel(err error) bool {
+	return err == io.EOF // want `error == io\.EOF misses wrapped errors; use errors\.Is`
+}
+
+func neqSentinel(err error) bool {
+	return err != io.EOF // want `error != io\.EOF misses wrapped errors; use errors\.Is`
+}
+
+func localSentinel(err error) bool {
+	return err == ErrCodec // want `error == a\.ErrCodec misses wrapped errors; use errors\.Is`
+}
+
+func sentinelOnLeft(err error) bool {
+	return ErrCodec == err // want `error == a\.ErrCodec misses wrapped errors; use errors\.Is`
+}
+
+// nil comparisons are the normal idiom, not a sentinel comparison.
+func nilCheck(err error) bool {
+	return err == nil || nil != err
+}
+
+// Two locals compared for identity: allowed.
+func identity(err error) bool {
+	_, other := read()
+	return err == other
+}
+
+// errors.Is is the fix, never flagged.
+func theFix(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+// A switch over an error value with sentinel cases.
+func switchSentinel(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case io.EOF: // want `switch-case comparison of an error against sentinel io\.EOF`
+		return 1
+	}
+	return 2
+}
+
+// A switch over a non-error tag is untouched.
+func switchInt(n int) int {
+	switch n {
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+// justified ignore: comparing against a never-wrapped in-package signal.
+func ignored(err error) bool {
+	//faustlint:ignore erroriscmp this sentinel is returned directly by read and never wrapped
+	return err == ErrCodec
+}

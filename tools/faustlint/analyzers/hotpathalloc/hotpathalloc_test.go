@@ -1,0 +1,13 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"faust/tools/faustlint/analyzers/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpathalloc.Analyzer, "a")
+}

@@ -1,0 +1,13 @@
+package lockheldio_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"faust/tools/faustlint/analyzers/lockheldio"
+)
+
+func TestLockHeldIO(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheldio.Analyzer, "a")
+}

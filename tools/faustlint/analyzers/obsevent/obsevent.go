@@ -1,0 +1,161 @@
+// Package obsevent enforces the observability discipline from PR 6:
+// failure detection must be visible in the protocol event log.
+//
+// Two rules:
+//
+//  1. Detection sites record. A function that constructs a
+//     DetectionError or ForkError composite literal must, in the same
+//     function, either call an EventLog Record method or delegate to a
+//     fail helper (a callee whose name starts with "fail" — the
+//     fail/failWith pattern, where the helper records exactly once).
+//     A detection that never reaches the event log is invisible to
+//     operators and to the /metrics endpoint, which defeats the point
+//     of fail-awareness: the paper's guarantee is that clients DETECT
+//     AND REPORT forks, not merely halt.
+//
+//  2. Event kinds are registered constants. The kind argument of
+//     EventLog.Record must not be a string literal or an
+//     EventKind("...") conversion — ad-hoc kind strings drift from the
+//     registered obs.Event* constants and silently fragment the
+//     event-kind cardinality that dashboards and tests key on.
+//     Variables and parameters of type EventKind pass through
+//     unflagged (kind plumbing is fine; minting new kinds inline is
+//     not).
+package obsevent
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"faust/tools/faustlint/internal/directive"
+)
+
+// Analyzer is the obsevent analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsevent",
+	Doc:  "detection sites must record an obs event; event kinds must be registered constants",
+	Run:  run,
+}
+
+var _ = directive.Register(Analyzer.Name)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dp := directive.New(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(dp, pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(dp *directive.Pass, pass *analysis.Pass, fd *ast.FuncDecl) {
+	var detections []*ast.CompositeLit
+	recordsOrDelegates := false
+
+	// FuncLits are deliberately included: the failOnce.Do(func() {...})
+	// idiom records inside a closure, and that counts.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			if isDetectionType(pass, e) {
+				detections = append(detections, e)
+			}
+		case *ast.CallExpr:
+			if isEventLogRecord(pass, e) {
+				recordsOrDelegates = true
+				checkKindArg(dp, pass, e)
+			} else if calleeNameHasPrefix(e, "fail") {
+				recordsOrDelegates = true
+			}
+		}
+		return true
+	})
+
+	if recordsOrDelegates {
+		return
+	}
+	for _, lit := range detections {
+		dp.Reportf(lit.Pos(),
+			"%s constructed in %s without recording an obs event; detection sites must call EventLog.Record or delegate to a fail helper (fail-awareness means detect AND report)",
+			typeName(pass, lit), fd.Name.Name)
+	}
+}
+
+// checkKindArg flags Record calls whose kind argument mints an event
+// kind inline instead of naming a registered constant.
+func checkKindArg(dp *directive.Pass, pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		dp.Reportf(arg.Pos(),
+			"event kind %s is a raw string literal; use a registered obs.Event* constant so kinds stay enumerable", e.Value)
+	case *ast.CallExpr:
+		// EventKind("...") conversion.
+		tv, ok := pass.TypesInfo.Types[e.Fun]
+		if ok && tv.IsType() && strings.HasSuffix(tv.Type.String(), "EventKind") {
+			dp.Reportf(arg.Pos(),
+				"event kind minted inline with an EventKind conversion; use a registered obs.Event* constant so kinds stay enumerable")
+		}
+	}
+}
+
+// isDetectionType reports whether lit builds a DetectionError or
+// ForkError value.
+func isDetectionType(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	name := typeName(pass, lit)
+	return name == "DetectionError" || name == "ForkError"
+}
+
+func typeName(pass *analysis.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isEventLogRecord reports whether call invokes the Record method of
+// the obs EventLog.
+func isEventLogRecord(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Record" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/obs") || fn.Pkg().Path() == "obs"
+}
+
+// calleeNameHasPrefix reports whether the called function's name starts
+// with prefix (fail, failWith, ...).
+func calleeNameHasPrefix(call *ast.CallExpr, prefix string) bool {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(f.Name, prefix)
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(f.Sel.Name, prefix)
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package obsevent_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"faust/tools/faustlint/analyzers/obsevent"
+)
+
+func TestObsEvent(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsevent.Analyzer, "a")
+}

@@ -1,0 +1,79 @@
+// Fixture for the obsevent analyzer.
+package a
+
+import "obs"
+
+// DetectionError mirrors the protocol detection error types.
+type DetectionError struct {
+	Client int
+	Check  string
+}
+
+func (e *DetectionError) Error() string { return e.Check }
+
+// ForkError mirrors the fork-evidence error.
+type ForkError struct {
+	Client int
+}
+
+func (e *ForkError) Error() string { return "fork" }
+
+type client struct {
+	id     int
+	events *obs.EventLog
+}
+
+// silentDetection constructs a detection without any event: flagged.
+func (c *client) silentDetection(check string) error {
+	return &DetectionError{Client: c.id, Check: check} // want `DetectionError constructed in silentDetection without recording an obs event`
+}
+
+// silentFork: same for fork evidence.
+func (c *client) silentFork() error {
+	return &ForkError{Client: c.id} // want `ForkError constructed in silentFork without recording an obs event`
+}
+
+// recordingDetection records in the same function: clean.
+func (c *client) recordingDetection(check string) error {
+	err := &DetectionError{Client: c.id, Check: check}
+	c.events.Record(obs.EventFork, c.id, "", check)
+	return err
+}
+
+// recordsInClosure: the failOnce.Do(func(){...}) idiom counts.
+func (c *client) recordsInClosure(check string) error {
+	err := &DetectionError{Client: c.id, Check: check}
+	once := func() { c.events.Record(obs.EventFail, c.id, "", check) }
+	once()
+	return err
+}
+
+// delegates hands the evidence to a fail helper, which records.
+func (c *client) delegates() {
+	c.failWith(&ForkError{Client: c.id})
+}
+
+func (c *client) failWith(err error) {
+	c.events.Record(obs.EventFail, c.id, "", err.Error())
+}
+
+// rawKindString mints a kind inline: flagged even though it records.
+func (c *client) rawKindString() {
+	c.events.Record("surprise-kind", c.id, "", "") // want `event kind "surprise-kind" is a raw string literal`
+}
+
+// mintedKind converts a string: flagged.
+func (c *client) mintedKind() {
+	c.events.Record(obs.EventKind("minted"), c.id, "", "") // want `event kind minted inline with an EventKind conversion`
+}
+
+// kindPlumbing passes a kind variable through: clean.
+func (c *client) kindPlumbing(kind obs.EventKind) {
+	c.events.Record(kind, c.id, "", "")
+}
+
+// ignored: the escape hatch with a justification.
+func (c *client) ignored() error {
+	//faustlint:ignore obsevent constructed only as a value for tests to compare against
+	return &DetectionError{Client: c.id, Check: "fixture"}
+}

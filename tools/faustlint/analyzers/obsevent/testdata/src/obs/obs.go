@@ -1,0 +1,32 @@
+// Fixture stand-in for the project's internal/obs package.
+package obs
+
+// EventKind names a protocol event type.
+type EventKind string
+
+// Registered kinds.
+const (
+	EventFork     EventKind = "fork-detected"
+	EventFail     EventKind = "failure"
+	EventRollback EventKind = "rollback-detected"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	Kind   EventKind
+	Client int
+	Shard  string
+	Detail string
+}
+
+// EventLog is an append-only protocol event log.
+type EventLog struct {
+	events []Event
+}
+
+// Record appends one event.
+func (l *EventLog) Record(kind EventKind, client int, shard, detail string) Event {
+	e := Event{Kind: kind, Client: client, Shard: shard, Detail: detail}
+	l.events = append(l.events, e)
+	return e
+}

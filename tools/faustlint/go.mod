@@ -1,0 +1,12 @@
+module faust/tools/faustlint
+
+go 1.22
+
+require golang.org/x/tools v0.0.0
+
+// The build environment is hermetic (no module proxy), so the analysis
+// framework is vendored as an API-compatible subset under
+// internal/xtools. To use the real upstream implementation, delete this
+// replace directive and `go get golang.org/x/tools` — the analyzer
+// sources need no changes.
+replace golang.org/x/tools => ./internal/xtools

@@ -1,0 +1,168 @@
+// Package directive implements the //faustlint:ignore escape hatch and
+// the //faustlint:hotpath opt-in marker.
+//
+// An ignore directive suppresses faustlint diagnostics on the line it
+// annotates (trailing on the flagged line, or alone on the line above):
+//
+//	conn.Write(b) //faustlint:ignore lockheldio per-conn wmu exists to serialize writes
+//
+// The first fields name the analyzers being silenced ("all" silences
+// every analyzer); everything after them is the justification. A
+// justification is MANDATORY — an ignore without one is not honored,
+// and the diagnostic it tried to suppress is reported with a note, so
+// an unexplained escape hatch can never make CI green.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const (
+	ignorePrefix  = "faustlint:ignore"
+	hotpathPrefix = "faustlint:hotpath"
+)
+
+// known holds every registered analyzer name; only these (and "all")
+// are parsed as the directive's analyzer list, so a lowercase
+// justification word is never mistaken for an analyzer name.
+var known = map[string]bool{"all": true}
+
+// Register records analyzer names for directive parsing. Each analyzer
+// package registers itself at init:
+//
+//	var _ = directive.Register(Analyzer.Name)
+func Register(names ...string) struct{} {
+	for _, n := range names {
+		known[n] = true
+	}
+	return struct{}{}
+}
+
+// ignoreDirective is one parsed //faustlint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers []string
+	justified bool
+}
+
+// covers reports whether the directive silences the named analyzer.
+func (d *ignoreDirective) covers(name string) bool {
+	for _, a := range d.analyzers {
+		if a == name || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// fileIgnores parses every ignore directive of a file, keyed by the
+// line the directive shields (its own line and, for directives that
+// stand alone, also the next line — a stand-alone directive shields the
+// statement below it).
+func fileIgnores(fset *token.FileSet, file *ast.File) map[int][]*ignoreDirective {
+	out := map[int][]*ignoreDirective{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			fields := strings.Fields(rest)
+			d := &ignoreDirective{line: fset.Position(c.Pos()).Line}
+			for i, f := range fields {
+				// The leading fields that name registered analyzers form
+				// the silence list; the first other word starts the
+				// justification.
+				if known[f] {
+					d.analyzers = append(d.analyzers, f)
+					continue
+				}
+				d.justified = strings.TrimSpace(strings.Join(fields[i:], " ")) != ""
+				break
+			}
+			out[d.line] = append(out[d.line], d)
+			out[d.line+1] = append(out[d.line+1], d)
+		}
+	}
+	return out
+}
+
+// Pass wraps an analysis.Pass with ignore-directive filtering. Build
+// one per analyzer run with New and report through it.
+type Pass struct {
+	*analysis.Pass
+	ignores map[*ast.File]map[int][]*ignoreDirective
+}
+
+// New wraps pass with directive handling.
+func New(pass *analysis.Pass) *Pass {
+	p := &Pass{Pass: pass, ignores: map[*ast.File]map[int][]*ignoreDirective{}}
+	for _, f := range pass.Files {
+		p.ignores[f] = fileIgnores(pass.Fset, f)
+	}
+	return p
+}
+
+// Reportf reports a diagnostic unless a justified ignore directive for
+// this analyzer covers the line. An unjustified directive is called out
+// in the diagnostic instead of being honored.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	line := p.Fset.Position(pos).Line
+	note := ""
+	for _, file := range p.Files {
+		if file.Pos() > pos || pos > file.End() {
+			continue
+		}
+		for _, d := range p.ignores[file][line] {
+			if !d.covers(p.Analyzer.Name) {
+				continue
+			}
+			if d.justified {
+				return // suppressed
+			}
+			note = " [faustlint:ignore directive present but missing a justification — not honored]"
+		}
+	}
+	p.Pass.Reportf(pos, format+"%s", append(args, note)...)
+}
+
+// HotpathFuncs returns the functions of the file set opted into the
+// zero-allocation contract with a //faustlint:hotpath marker in their
+// doc comment or on the line above their declaration.
+func HotpathFuncs(fset *token.FileSet, files []*ast.File) map[*ast.FuncDecl]bool {
+	out := map[*ast.FuncDecl]bool{}
+	for _, file := range files {
+		marked := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotpathPrefix) {
+					marked[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declLine := fset.Position(fd.Pos()).Line
+			if marked[declLine-1] {
+				out[fd] = true
+				continue
+			}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotpathPrefix) {
+						out[fd] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

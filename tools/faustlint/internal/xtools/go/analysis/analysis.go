@@ -1,0 +1,107 @@
+// Package analysis is an API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored so the faustlint module
+// builds in hermetic environments without network access to the module
+// proxy. Analyzers written against it are source-compatible with the
+// real x/tools packages: swap the replace directive in the faustlint
+// go.mod for the upstream module and nothing else changes.
+//
+// Only the surface faustlint uses is implemented: Analyzer, Pass,
+// Diagnostic, Requires/ResultOf plumbing and Reportf. Facts, flags and
+// suggested fixes are out of scope.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// Analyzer describes one analysis function and its options.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is the summary printed by the driver's help output.
+	Doc string
+	// URL points at the analyzer's documentation, if any.
+	URL string
+	// Run applies the analyzer to a package and returns its result (of
+	// type ResultType), which dependent analyzers receive via
+	// Pass.ResultOf.
+	Run func(*Pass) (interface{}, error)
+	// Requires lists analyzers that must run first on the same package.
+	Requires []*Analyzer
+	// ResultType is the dynamic type of the value returned by Run.
+	ResultType reflect.Type
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with the facts of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+	ResultOf   map[*Analyzer]interface{}
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Validate checks the well-formedness of a set of analyzers: unique
+// names, Run present, and acyclic Requires graphs.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := map[*Analyzer]int{}
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch color[a] {
+		case grey:
+			return fmt.Errorf("analysis: cycle in Requires involving %q", a.Name)
+		case black:
+			return nil
+		}
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q missing Name or Run", a.Name)
+		}
+		color[a] = grey
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		color[a] = black
+		return nil
+	}
+	for _, a := range analyzers {
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if err := visit(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

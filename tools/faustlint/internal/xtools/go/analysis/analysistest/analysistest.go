@@ -1,0 +1,186 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	x := f() // want `regexp` `another regexp`
+//
+// Each quoted string (Go-quoted or backquoted) is a regular expression
+// that must match the message of one diagnostic reported on that line;
+// diagnostics with no matching expectation, and expectations with no
+// matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/internal/faustdrive"
+	"golang.org/x/tools/internal/faustload"
+)
+
+// TestData returns the abs path of the testdata directory next to the
+// caller's test file.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Testing is the subset of *testing.T used here.
+type Testing interface {
+	Errorf(format string, args ...interface{})
+}
+
+// Result holds the outcome of one analyzer run, for tests that inspect
+// diagnostics beyond want-comment matching.
+type Result struct {
+	Pass        *analysis.Pass
+	Diagnostics []analysis.Diagnostic
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	source  string
+	matched bool
+}
+
+// Run loads each fixture package from dir/src (GOPATH-style), applies
+// the analyzer, and checks diagnostics against the fixtures' // want
+// comments.
+func Run(t Testing, dir string, a *analysis.Analyzer, patterns ...string) []*Result {
+	pkgs, err := faustload.LoadTree(dir, patterns)
+	if err != nil {
+		t.Errorf("analysistest: loading fixtures: %v", err)
+		return nil
+	}
+	var results []*Result
+	for _, pkg := range pkgs {
+		expects, err := collectExpectations(pkg)
+		if err != nil {
+			t.Errorf("analysistest: %v", err)
+			continue
+		}
+		findings, err := faustdrive.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: %v", err)
+			continue
+		}
+		res := &Result{}
+		for _, f := range findings {
+			res.Diagnostics = append(res.Diagnostics, f.Diagnostic)
+			pos := pkg.Fset.Position(f.Diagnostic.Pos)
+			if !consume(expects, pos, f.Diagnostic.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, f.Diagnostic.Message)
+			}
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.source)
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+func consume(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectExpectations parses the // want comments of a fixture package.
+func collectExpectations(pkg *faustload.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					expects = append(expects, &expectation{
+						file:   pos.Filename,
+						line:   pos.Line,
+						re:     re,
+						source: p,
+					})
+				}
+			}
+		}
+	}
+	return expects, nil
+}
+
+// parseWant splits a want payload into its quoted regexp strings.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, s[1:1+end])
+			s = s[2+end:]
+		case '"':
+			// Find the closing quote, honoring escapes, then unquote.
+			i := 1
+			for i < len(s) {
+				if s[i] == '\\' {
+					i += 2
+					continue
+				}
+				if s[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated quoted want pattern")
+			}
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", s[:i+1], err)
+			}
+			out = append(out, q)
+			s = s[i+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+	}
+}

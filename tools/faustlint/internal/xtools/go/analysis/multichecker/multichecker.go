@@ -1,0 +1,64 @@
+// Package multichecker builds a command that runs a set of analyzers
+// over packages named on the command line, mirroring
+// golang.org/x/tools/go/analysis/multichecker.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/internal/faustdrive"
+	"golang.org/x/tools/internal/faustload"
+)
+
+// Main runs the analyzers over the package patterns in os.Args and
+// exits: 0 when clean, 3 when diagnostics were reported, 1 on failure
+// to load or analyze. Patterns are resolved by the go command relative
+// to the current working directory.
+func Main(analyzers ...*analysis.Analyzer) {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-list] package...\n\nRegistered analyzers:\n", os.Args[0])
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if err := analysis.Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	pkgs, err := faustload.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := faustdrive.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(f.Diagnostic.Pos), f.Diagnostic.Message, f.Analyzer.Name)
+			exit = 3
+		}
+	}
+	os.Exit(exit)
+}

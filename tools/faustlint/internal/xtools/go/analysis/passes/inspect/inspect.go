@@ -1,0 +1,24 @@
+// Package inspect provides the shared syntax inspector as an analyzer
+// result, mirroring golang.org/x/tools/go/analysis/passes/inspect.
+package inspect
+
+import (
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer provides an *inspector.Inspector for the package under
+// analysis. Depend on it via Requires and fetch the inspector from
+// pass.ResultOf[inspect.Analyzer].
+var Analyzer = &analysis.Analyzer{
+	Name:       "inspect",
+	Doc:        "optimize AST traversal for later passes",
+	Run:        run,
+	ResultType: reflect.TypeOf(new(inspector.Inspector)),
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	return inspector.New(pass.Files), nil
+}

@@ -1,0 +1,100 @@
+// Package inspector is an API-compatible subset of
+// golang.org/x/tools/go/ast/inspector (see the package comment of
+// golang.org/x/tools/go/analysis in this tree for why it is vendored).
+// It favors simplicity over the upstream's event-list representation:
+// traversals re-walk the syntax trees, which is plenty fast for a
+// repository of this size.
+package inspector
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector traverses a package's syntax trees with node-type filters.
+type Inspector struct {
+	files []*ast.File
+}
+
+// New returns an Inspector for the given files.
+func New(files []*ast.File) *Inspector {
+	return &Inspector{files: files}
+}
+
+// typeSet builds the dynamic-type filter. A nil result means "every
+// node", matching the upstream contract for an empty types list.
+func typeSet(nodeTypes []ast.Node) map[reflect.Type]bool {
+	if len(nodeTypes) == 0 {
+		return nil
+	}
+	set := make(map[reflect.Type]bool, len(nodeTypes))
+	for _, n := range nodeTypes {
+		set[reflect.TypeOf(n)] = true
+	}
+	return set
+}
+
+func match(set map[reflect.Type]bool, n ast.Node) bool {
+	return set == nil || set[reflect.TypeOf(n)]
+}
+
+// Preorder visits the nodes of the filtered types in depth-first order.
+func (in *Inspector) Preorder(nodeTypes []ast.Node, f func(ast.Node)) {
+	set := typeSet(nodeTypes)
+	for _, file := range in.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil && match(set, n) {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack visits matching nodes with push/pop events and the stack of
+// enclosing nodes, outermost first (stack[0] is the *ast.File). The
+// callback's return value controls whether children are visited on a
+// push event; it is ignored on pop.
+func (in *Inspector) WithStack(nodeTypes []ast.Node, f func(n ast.Node, push bool, stack []ast.Node) bool) {
+	set := typeSet(nodeTypes)
+	for _, file := range in.files {
+		var stack []ast.Node
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			stack = append(stack, n)
+			descend := true
+			matched := match(set, n)
+			if matched {
+				descend = f(n, true, stack)
+			}
+			if descend {
+				for _, child := range childNodes(n) {
+					walk(child)
+				}
+			}
+			if matched {
+				f(n, false, stack)
+			}
+			stack = stack[:len(stack)-1]
+		}
+		walk(file)
+	}
+}
+
+// childNodes returns the direct child nodes of n in source order, via a
+// one-level ast.Inspect.
+func childNodes(n ast.Node) []ast.Node {
+	var children []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c != nil {
+			children = append(children, c)
+		}
+		return false // do not descend past direct children
+	})
+	return children
+}

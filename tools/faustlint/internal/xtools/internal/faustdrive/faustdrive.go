@@ -1,0 +1,65 @@
+// Package faustdrive executes analyzers over loaded packages: the
+// execution core shared by the multichecker driver and analysistest.
+package faustdrive
+
+import (
+	"fmt"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/internal/faustload"
+)
+
+// Finding pairs a diagnostic with the analyzer that produced it.
+type Finding struct {
+	Analyzer   *analysis.Analyzer
+	Diagnostic analysis.Diagnostic
+}
+
+// Run applies the analyzers (and, first, their transitive Requires) to
+// one package and returns the findings in source order.
+func Run(pkg *faustload.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	results := map[*analysis.Analyzer]interface{}{}
+	ran := map[*analysis.Analyzer]bool{}
+
+	var exec func(a *analysis.Analyzer) error
+	exec = func(a *analysis.Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypesSizes,
+			ResultOf:   results,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{Analyzer: a, Diagnostic: d})
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		return findings[i].Diagnostic.Pos < findings[j].Diagnostic.Pos
+	})
+	return findings, nil
+}

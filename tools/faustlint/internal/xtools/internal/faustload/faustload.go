@@ -1,0 +1,263 @@
+// Package faustload loads and type-checks Go packages for the vendored
+// analysis driver without golang.org/x/tools/go/packages. Two loading
+// modes cover the two call sites:
+//
+//   - Load resolves module-relative patterns by shelling out to
+//     `go list` (so workspaces, nested modules and build constraints are
+//     handled by the go command itself) and type-checks the listed
+//     packages with the standard library's source importer. The source
+//     importer resolves module imports through the go command relative
+//     to the process working directory, so drivers must run from the
+//     directory the patterns are relative to — exactly what
+//     `go run ./tools/faustlint ./...` does.
+//
+//   - LoadTree loads GOPATH-style package trees rooted at a plain
+//     directory (analysistest fixtures under testdata/src), resolving
+//     inter-fixture imports inside the tree and everything else through
+//     the source importer.
+//
+// Only non-test files are loaded: faustlint's invariants target
+// production code, and _test.go files of the repo under analysis are
+// free to take shortcuts (unexported access, deliberate violations to
+// provoke detections).
+package faustload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func sizes() types.Sizes {
+	s := types.SizesFor("gc", runtime.GOARCH)
+	if s == nil {
+		s = types.SizesFor("gc", "amd64")
+	}
+	return s
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Match      []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and type-checks every matched
+// package. It fails on the first package that does not type-check: a
+// lint run over code that does not compile reports garbage.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json=Dir,ImportPath,Name,GoFiles,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var listed []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	szs := sizes()
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil && lp.Error.Err != "" {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp, Sizes: szs}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Syntax:     files,
+			Types:      tpkg,
+			TypesInfo:  info,
+			TypesSizes: szs,
+		})
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}
+
+// treeImporter resolves imports for LoadTree: paths with a directory
+// under the tree root load (and cache) from the tree; everything else
+// falls through to the standard library's source importer.
+type treeImporter struct {
+	root     string // the GOPATH-style src directory
+	fset     *token.FileSet
+	fallback types.Importer
+	cache    map[string]*treeEntry
+	sizes    types.Sizes
+}
+
+type treeEntry struct {
+	pkg *Package
+	err error
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if p, err := ti.load(path); p != nil {
+		return p.Types, err
+	} else if err != nil {
+		return nil, err
+	}
+	return ti.fallback.Import(path)
+}
+
+// ImportFrom satisfies types.ImporterFrom so the type checker hands us
+// every import; srcDir is ignored because tree imports are rooted.
+func (ti *treeImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	return ti.Import(path)
+}
+
+// load returns the tree package for path, nil when path is not in the
+// tree (the caller then falls back to the stdlib importer).
+func (ti *treeImporter) load(path string) (*Package, error) {
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	names, err := goFilesIn(dir)
+	if err != nil || len(names) == 0 {
+		return nil, nil // not a tree package
+	}
+	if e, ok := ti.cache[path]; ok {
+		return e.pkg, e.err
+	}
+	// Reserve the slot first so import cycles fail fast instead of
+	// recursing forever.
+	ti.cache[path] = &treeEntry{err: fmt.Errorf("import cycle through %s", path)}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ti.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			ti.cache[path] = &treeEntry{err: err}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: ti, Sizes: ti.sizes}
+	tpkg, err := conf.Check(path, ti.fset, files, info)
+	if err != nil {
+		err = fmt.Errorf("type-checking %s: %v", path, err)
+		ti.cache[path] = &treeEntry{err: err}
+		return nil, err
+	}
+	p := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       ti.fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypesSizes: ti.sizes,
+	}
+	ti.cache[path] = &treeEntry{pkg: p}
+	return p, nil
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadTree loads the packages named by patterns from a GOPATH-style
+// src root (each pattern is a package path relative to root/src).
+func LoadTree(root string, patterns []string) ([]*Package, error) {
+	src := filepath.Join(root, "src")
+	fset := token.NewFileSet()
+	ti := &treeImporter{
+		root:     src,
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		cache:    map[string]*treeEntry{},
+		sizes:    sizes(),
+	}
+	var pkgs []*Package
+	for _, pat := range patterns {
+		p, err := ti.load(pat)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("no fixture package %q under %s", pat, src)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,37 @@
+// Command faustlint is the project's invariant-enforcing static
+// analysis suite. It bundles five go/analysis analyzers, each guarding
+// a discipline a past PR paid to establish:
+//
+//	lockheldio     no network/disk I/O while a state mutex is held
+//	cryptoboundary raw ed25519/sha256 only inside internal/crypto
+//	erroriscmp     errors.Is instead of ==/!= against sentinels
+//	hotpathalloc   zero allocations in Append*/*Into/EncodedSize
+//	obsevent       detections record obs events; kinds are constants
+//
+// Run from the repository root:
+//
+//	go run ./tools/faustlint ./...
+//
+// Findings can be suppressed per line with a justified
+// //faustlint:ignore directive; see tools/faustlint/internal/directive.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/multichecker"
+
+	"faust/tools/faustlint/analyzers/cryptoboundary"
+	"faust/tools/faustlint/analyzers/erroriscmp"
+	"faust/tools/faustlint/analyzers/hotpathalloc"
+	"faust/tools/faustlint/analyzers/lockheldio"
+	"faust/tools/faustlint/analyzers/obsevent"
+)
+
+func main() {
+	multichecker.Main(
+		cryptoboundary.Analyzer,
+		erroriscmp.Analyzer,
+		hotpathalloc.Analyzer,
+		lockheldio.Analyzer,
+		obsevent.Analyzer,
+	)
+}
