@@ -7,6 +7,7 @@
 package faust
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -123,7 +124,7 @@ func BenchmarkWaitFreedom(b *testing.B) {
 
 	// Client 0 crashes mid-operation.
 	link0 := nw.ClientLink(0)
-	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1))
+	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1, nil))
 	delta := signers[0].Sign(crypto.DomainData, wire.DataPayload(1, crypto.Hash([]byte("w"))))
 	if err := link0.Send(&wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0, SubmitSig: sigma}, Value: []byte("w"), DataSig: delta}); err != nil {
 		b.Fatal(err)
@@ -416,10 +417,10 @@ func BenchmarkFig3Attack(b *testing.B) {
 		c1 := ustor.NewClient(1, ring, signers[1], nw.ClientLink(1))
 		b.StartTimer()
 
-		if _, err := c0.WriteX([]byte("u")); err != nil {
+		if _, err := c0.WriteX(context.Background(), []byte("u")); err != nil {
 			b.Fatal(err)
 		}
-		r1, err := c1.ReadX(0)
+		r1, err := c1.ReadX(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -429,7 +430,7 @@ func BenchmarkFig3Attack(b *testing.B) {
 		if err := server.Replay(0, 0, 1); err != nil {
 			b.Fatal(err)
 		}
-		r2, err := c1.ReadX(0)
+		r2, err := c1.ReadX(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -475,7 +476,7 @@ func BenchmarkPiggybackAblation(b *testing.B) {
 // (E12).
 func BenchmarkCryptoPerOp(b *testing.B) {
 	ring, signers := crypto.NewTestKeyring(2, 1)
-	payload := wire.SubmitPayload(wire.OpWrite, 0, 1)
+	payload := wire.SubmitPayload(wire.OpWrite, 0, 1, nil)
 	b.Run("sign", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = signers[0].Sign(crypto.DomainSubmit, payload)

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -42,6 +43,7 @@ import (
 	"faust/internal/kv"
 	"faust/internal/lockstep"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/offline"
 	"faust/internal/shard"
 	"faust/internal/sim"
@@ -140,7 +142,14 @@ func main() {
 	jsonFlag := flag.String("json", "", "append machine-readable results to this file (one JSON record per row)")
 	benchOut := flag.String("bench-out", "", "append this run's records to a trajectory file (conventionally BENCH_kv.json) tracked across PRs; may be combined with -json")
 	flag.BoolVar(&quick, "quick", false, "trim heavyweight sweeps (CI smoke mode)")
+	traceSample := flag.Int("trace-sample", 0, "enable tracing, retaining 1 in N traces by head sampling (0 = tracing off)")
+	traceSlow := flag.Duration("trace-slow", 0, "enable tracing, always retaining traces at least this slow")
 	flag.Parse()
+
+	if *traceSample > 0 || *traceSlow > 0 {
+		trace.SetEnabled(true)
+		trace.Configure(*traceSample, *traceSlow)
+	}
 
 	experiments := []experiment{
 		{"rounds", "E5: message rounds per operation (paper: exactly one)", expRounds},
@@ -274,7 +283,7 @@ func expWaitFree() {
 	usrv := ustor.NewServer(n)
 	unet := transport.NewNetwork(n, usrv)
 	link0 := unet.ClientLink(0)
-	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1))
+	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1, nil))
 	delta := signers[0].Sign(crypto.DomainData, wire.DataPayload(1, crypto.Hash([]byte("w"))))
 	_ = link0.Send(&wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0, SubmitSig: sigma}, Value: []byte("w"), DataSig: delta})
 	_, _ = link0.Recv() // REPLY consumed; COMMIT never sent: client 0 is dead
@@ -582,7 +591,7 @@ func expOverhead() {
 // per concurrent operation.
 func expCrypto() {
 	ring, signers := crypto.NewTestKeyring(2, 9)
-	payload := wire.SubmitPayload(wire.OpWrite, 0, 1)
+	payload := wire.SubmitPayload(wire.OpWrite, 0, 1, nil)
 
 	const iters = 500
 	start := time.Now()
@@ -920,21 +929,21 @@ func expKV() {
 
 		putD := measured(fmt.Sprintf("kv/put/size=%d", size), 2, ops, func() {
 			for i := 0; i < ops; i++ {
-				if err := owner.Put(key(i), values[i]); err != nil {
+				if err := owner.Put(context.Background(), key(i), values[i]); err != nil {
 					fail(err)
 				}
 			}
 		})
 		getD := measured(fmt.Sprintf("kv/getfrom/size=%d", size), 2, ops, func() {
 			for i := 0; i < ops; i++ {
-				if _, err := reader.GetFrom(0, key(i)); err != nil {
+				if _, err := reader.GetFrom(context.Background(), 0, key(i)); err != nil {
 					fail(err)
 				}
 			}
 		})
 		cachedD := measured(fmt.Sprintf("kv/cachedget/size=%d", size), 2, ops, func() {
 			for i := 0; i < ops; i++ {
-				if _, err := reader.CachedGetFrom(0, key(i)); err != nil {
+				if _, err := reader.CachedGetFrom(context.Background(), 0, key(i)); err != nil {
 					fail(err)
 				}
 			}
@@ -962,7 +971,7 @@ func expKV() {
 		for i := range items {
 			items[i] = kv.Item{Key: workload.KeyName(i), Value: value(256, i)}
 		}
-		if err := owner.PutBatch(items); err != nil {
+		if err := owner.PutBatch(context.Background(), items); err != nil {
 			fail(err)
 		}
 		const overwrites = 50
@@ -973,7 +982,7 @@ func expKV() {
 		before := owner.Stats()
 		d := measured(fmt.Sprintf("kv/put-keys/keys=%d", nk), 2, overwrites, func() {
 			for i := 0; i < overwrites; i++ {
-				if err := owner.Put(workload.KeyName(i%nk), ovalues[i]); err != nil {
+				if err := owner.Put(context.Background(), workload.KeyName(i%nk), ovalues[i]); err != nil {
 					fail(err)
 				}
 			}
@@ -1005,7 +1014,7 @@ func expKV() {
 	}
 	w := workload.NewKV(m, workload.DefaultKVConfig())
 	for i, st := range stores { // seed every namespace
-		if op := w.Stream(i).NextPut(); st.Put(op.Key, op.Value) != nil {
+		if op := w.Stream(i).NextPut(); st.Put(context.Background(), op.Key, op.Value) != nil {
 			fail(fmt.Errorf("seed put failed"))
 		}
 	}
@@ -1018,17 +1027,17 @@ func expKV() {
 					var err error
 					switch op := s.Next(); op.Kind {
 					case workload.KVPut:
-						err = stores[c].Put(op.Key, op.Value)
+						err = stores[c].Put(context.Background(), op.Key, op.Value)
 					case workload.KVGet:
-						if _, err = stores[c].Get(op.Key); errors.Is(err, kv.ErrNotFound) {
+						if _, err = stores[c].Get(context.Background(), op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					case workload.KVGetFrom:
-						if _, err = stores[c].GetFrom(op.Owner, op.Key); errors.Is(err, kv.ErrNotFound) {
+						if _, err = stores[c].GetFrom(context.Background(), op.Owner, op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					case workload.KVDelete:
-						if err = stores[c].Delete(op.Key); errors.Is(err, kv.ErrNotFound) {
+						if err = stores[c].Delete(context.Background(), op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					}
@@ -1099,7 +1108,7 @@ func expKVTree() {
 		for i := range items {
 			items[i] = kv.Item{Key: workload.KeyName(i), Value: mkValue("v", i)}
 		}
-		if err := owner.PutBatch(items); err != nil {
+		if err := owner.PutBatch(context.Background(), items); err != nil {
 			fail(err)
 		}
 		// Overwrite values pre-generated so the measured region times the
@@ -1113,7 +1122,7 @@ func expKVTree() {
 		before := owner.Stats()
 		putD := measured(fmt.Sprintf("kvtree/put/mode=%s/keys=%d", mode, nk), nk, ops, func() {
 			for i := 0; i < ops; i++ {
-				if err := owner.Put(workload.KeyName((i*37)%nk), ovalues[i]); err != nil {
+				if err := owner.Put(context.Background(), workload.KeyName((i*37)%nk), ovalues[i]); err != nil {
 					fail(err)
 				}
 			}
@@ -1130,7 +1139,7 @@ func expKVTree() {
 		before = reader.Stats()
 		getD := measured(fmt.Sprintf("kvtree/getfrom/mode=%s/keys=%d", mode, nk), nk, ops, func() {
 			for i := 0; i < ops; i++ {
-				if _, err := reader.GetFrom(0, workload.KeyName((i*41)%nk)); err != nil {
+				if _, err := reader.GetFrom(context.Background(), 0, workload.KeyName((i*41)%nk)); err != nil {
 					fail(err)
 				}
 			}
@@ -1398,7 +1407,7 @@ func expFailover() {
 	}
 	w := workload.NewKV(m, workload.DefaultKVConfig())
 	for i, st := range stores { // seed every namespace
-		if op := w.Stream(i).NextPut(); st.Put(op.Key, op.Value) != nil {
+		if op := w.Stream(i).NextPut(); st.Put(context.Background(), op.Key, op.Value) != nil {
 			fail(fmt.Errorf("seed put failed"))
 		}
 	}
@@ -1419,17 +1428,17 @@ func expFailover() {
 					t0 := time.Now()
 					switch op := s.Next(); op.Kind {
 					case workload.KVPut:
-						err = stores[c].Put(op.Key, op.Value)
+						err = stores[c].Put(context.Background(), op.Key, op.Value)
 					case workload.KVGet:
-						if _, err = stores[c].Get(op.Key); errors.Is(err, kv.ErrNotFound) {
+						if _, err = stores[c].Get(context.Background(), op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					case workload.KVGetFrom:
-						if _, err = stores[c].GetFrom(op.Owner, op.Key); errors.Is(err, kv.ErrNotFound) {
+						if _, err = stores[c].GetFrom(context.Background(), op.Owner, op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					case workload.KVDelete:
-						if err = stores[c].Delete(op.Key); errors.Is(err, kv.ErrNotFound) {
+						if err = stores[c].Delete(context.Background(), op.Key); errors.Is(err, kv.ErrNotFound) {
 							err = nil
 						}
 					}
@@ -1542,10 +1551,10 @@ func expFailover() {
 	for i := 0; i < tamperOps; i++ {
 		key := fmt.Sprintf("key-%d", i)
 		val := []byte(fmt.Sprintf("tamper-ablation value %d", i))
-		if err := bst.Put(key, val); err != nil {
+		if err := bst.Put(context.Background(), key, val); err != nil {
 			fail(fmt.Errorf("tamper ablation put %d: %v", i, err))
 		}
-		got, err := bst.Get(key)
+		got, err := bst.Get(context.Background(), key)
 		if err != nil {
 			fail(fmt.Errorf("tamper ablation get %d: %v", i, err))
 		}

@@ -11,6 +11,7 @@
 //	cut               print the stability cut (requires -listen/-peers)
 //	status            print failure state
 //	stats             print session KV traffic and round-trip latency stats
+//	trace             print the span tree of the last traced operation
 //	quit
 //
 // Without -listen/-peers it runs the bare USTOR protocol (storage with
@@ -39,6 +40,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +54,7 @@ import (
 	"faust/internal/faustproto"
 	"faust/internal/kv"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/offline"
 	"faust/internal/transport"
 	"faust/internal/ustor"
@@ -72,6 +75,13 @@ func main() {
 	if *id < 0 || *id >= *n {
 		log.Fatalf("faust-client: -id %d out of range [0,%d)", *id, *n)
 	}
+	// Tracing is always on in the interactive client: at human pace the
+	// recording cost is nil, every operation is retained (head 1-in-1),
+	// and the `trace` REPL command can inspect the last one. The keep bit
+	// travels on the wire, so a tracing-enabled server retains its half of
+	// exactly these traces.
+	trace.SetEnabled(true)
+	trace.Configure(1, 50*time.Millisecond)
 	if *legacy && *shardName != "" {
 		log.Fatalf("faust-client: -legacy cannot name a -shard (the v1 hello always lands on %q)", transport.DefaultShard)
 	}
@@ -210,7 +220,7 @@ func repl(s *session) {
 				ts, err := s.fc.Write([]byte(text))
 				report(err, func() { fmt.Printf("ok, timestamp %d\n", ts) })
 			} else {
-				res, err := s.uc.WriteX([]byte(text))
+				res, err := s.uc.WriteX(context.Background(), []byte(text))
 				report(err, func() { fmt.Printf("ok, timestamp %d\n", res.Timestamp) })
 			}
 		case "read":
@@ -236,7 +246,7 @@ func repl(s *session) {
 				break
 			}
 			withKV(s, func(st *kv.Store) error {
-				if err := st.Put(fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+				if err := st.Put(context.Background(), fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
 					return err
 				}
 				fmt.Printf("ok, %d keys, root %x...\n", st.Len(), st.Root()[:8])
@@ -248,7 +258,7 @@ func repl(s *session) {
 				break
 			}
 			withKV(s, func(st *kv.Store) error {
-				v, err := st.Get(fields[1])
+				v, err := st.Get(context.Background(), fields[1])
 				if err != nil {
 					return err
 				}
@@ -261,7 +271,7 @@ func repl(s *session) {
 				break
 			}
 			withKV(s, func(st *kv.Store) error {
-				if err := st.Delete(fields[1]); err != nil {
+				if err := st.Delete(context.Background(), fields[1]); err != nil {
 					return err
 				}
 				fmt.Println("ok")
@@ -279,7 +289,7 @@ func repl(s *session) {
 					if err != nil {
 						return fmt.Errorf("bad client index: %w", err)
 					}
-					if keys, err = st.ListFrom(j); err != nil {
+					if keys, err = st.ListFrom(context.Background(), j); err != nil {
 						return err
 					}
 				}
@@ -299,7 +309,7 @@ func repl(s *session) {
 				if err != nil {
 					return fmt.Errorf("bad client index: %w", err)
 				}
-				v, err := st.GetFrom(j, fields[2])
+				v, err := st.GetFrom(context.Background(), j, fields[2])
 				if err != nil {
 					return err
 				}
@@ -314,6 +324,13 @@ func repl(s *session) {
 			fmt.Printf("cut=%v\n", s.fc.StableCut())
 		case "stats":
 			printStats(s)
+		case "trace":
+			trace.Default().Sweep()
+			if t := trace.Default().Last(); t != nil {
+				t.WriteTree(os.Stdout)
+			} else {
+				fmt.Println("no trace retained yet (run an operation first)")
+			}
 		case "status":
 			var failed bool
 			var reason error
@@ -330,7 +347,7 @@ func repl(s *session) {
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: write <text> | read <j> | put <k> <text> | get <k> | del <k> | ls [j] | getfrom <j> <k> | cut | status | stats | quit")
+			fmt.Println("commands: write <text> | read <j> | put <k> <text> | get <k> | del <k> | ls [j] | getfrom <j> <k> | cut | status | stats | trace | quit")
 		}
 		fmt.Print("> ")
 	}

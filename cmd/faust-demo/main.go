@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -90,14 +91,14 @@ func actTwo() {
 
 	rec := history.NewRecorder(n)
 	p := rec.Invoke(0, history.OpWrite, 0, []byte("u"))
-	if _, err := c0.WriteX([]byte("u")); err != nil {
+	if _, err := c0.WriteX(context.Background(), []byte("u")); err != nil {
 		log.Fatal(err)
 	}
 	p.Complete(nil, 1)
 	fmt.Println("  client 0: write(X0, \"u\") — completed")
 
 	p = rec.Invoke(1, history.OpRead, 0, nil)
-	r1, err := c1.ReadX(0)
+	r1, err := c1.ReadX(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func actTwo() {
 
 	_ = server.Replay(0, 0, 1) // the attacker now reveals the write to branch 1
 	p = rec.Invoke(1, history.OpRead, 0, nil)
-	r2, err := c1.ReadX(0)
+	r2, err := c1.ReadX(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

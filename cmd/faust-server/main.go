@@ -109,6 +109,7 @@ import (
 
 	"faust/internal/blobfleet"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/shard"
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -127,7 +128,16 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /events, /debug/vars and /debug/pprof on this address; empty = disabled")
 	blobBackends := flag.String("blob-backends", "", "failover blob fleet per shard, e.g. 'dir,dir=mirror,mem,w=2'; empty = single default store")
 	blobFaults := flag.String("blob-faults", "", "fault-inject one fleet backend, e.g. 'backend=0,errs=0.3,latency=2ms,seed=7' (requires -blob-backends)")
+	traceSample := flag.Int("trace-sample", 0, "retain 1 in N traces by head sampling (0 = head sampling off)")
+	traceSlow := flag.Duration("trace-slow", 0, "always retain traces at least this slow (tail sampling; 0 = off)")
 	flag.Parse()
+
+	if *traceSample > 0 || *traceSlow > 0 {
+		trace.SetEnabled(true)
+		trace.Configure(*traceSample, *traceSlow)
+		fmt.Printf("faust-server: tracing on (head 1-in-%d, slow threshold %s); GET /trace on the metrics port\n",
+			*traceSample, *traceSlow)
+	}
 
 	if *n <= 0 {
 		log.Fatalf("faust-server: -n must be positive, got %d", *n)
@@ -223,10 +233,11 @@ func main() {
 
 	if *metricsAddr != "" {
 		obs.SetEnabled(true)
-		mln, err := obs.Serve(*metricsAddr, obs.Default())
+		mln, mshut, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {
 			log.Fatalf("faust-server: metrics listen: %v", err)
 		}
+		defer mshut()
 		fmt.Printf("faust-server: metrics on http://%s/metrics (events: /events, pprof: /debug/pprof)\n", mln.Addr())
 	}
 

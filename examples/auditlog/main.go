@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -40,7 +41,7 @@ func main() {
 	}
 	var versions []wire.SignedVersion
 	for i, c := range clients {
-		res, err := c.WriteX([]byte(fmt.Sprintf("finding #%d: access review complete", i)))
+		res, err := c.WriteX(context.Background(), []byte(fmt.Sprintf("finding #%d: access review complete", i)))
 		if err != nil {
 			log.Fatalf("auditor %d append: %v", i, err)
 		}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -68,23 +69,23 @@ func honest() {
 	alice, bob := stores[0], stores[1]
 
 	// Small values: one chunk, one register write each.
-	must(alice.Put("motd", []byte("hello from alice")))
-	must(alice.Put("config", []byte("retries=3")))
+	must(alice.Put(context.Background(), "motd", []byte("hello from alice")))
+	must(alice.Put(context.Background(), "config", []byte("retries=3")))
 
 	// A large value: 40 KiB splits into ten 4 KiB content-addressed
 	// chunks, uploaded over the bulk channel — the register only ever
 	// carries the root record naming the directory tree's root hash.
 	large := bytes.Repeat([]byte("0123456789abcdef"), 2560)
-	must(alice.Put("dataset", large))
+	must(alice.Put(context.Background(), "dataset", large))
 	fmt.Printf("alice's namespace: %v (root %x...)\n", alice.Keys(), alice.Root()[:8])
 
 	// Bob reads with full authentication: ReadX of alice's register,
 	// then the tree path + chunks fetched, each node hash-checked
 	// against the reference that named it.
-	v, err := bob.GetFrom(0, "motd")
+	v, err := bob.GetFrom(context.Background(), 0, "motd")
 	must(err)
 	fmt.Printf("bob GetFrom(alice, motd) = %q\n", v)
-	v, err = bob.GetFrom(0, "dataset")
+	v, err = bob.GetFrom(context.Background(), 0, "dataset")
 	must(err)
 	fmt.Printf("bob GetFrom(alice, dataset) = %d bytes, intact=%v\n", len(v), bytes.Equal(v, large))
 
@@ -92,7 +93,7 @@ func honest() {
 	// the node cache and every chunk from the validating chunk cache —
 	// one register round trip, zero blob traffic.
 	before := bob.Stats()
-	_, err = bob.GetFrom(0, "dataset")
+	_, err = bob.GetFrom(context.Background(), 0, "dataset")
 	must(err)
 	after := bob.Stats()
 	fmt.Printf("repeat GetFrom: +%d register reads, +%d blob fetches (chunks served from the validating cache)\n",
@@ -101,7 +102,7 @@ func honest() {
 	// CachedGetFrom: no server round trip at all while bob's observed
 	// version of alice's register is unchanged.
 	before = bob.Stats()
-	_, err = bob.CachedGetFrom(0, "dataset")
+	_, err = bob.CachedGetFrom(context.Background(), 0, "dataset")
 	must(err)
 	after = bob.Stats()
 	fmt.Printf("CachedGetFrom: +%d register reads, +%d blob fetches (value cache hit)\n",
@@ -114,13 +115,13 @@ func tampered() {
 	alice, bob := stores[0], stores[1]
 
 	secret := bytes.Repeat([]byte("integrity matters "), 1000)
-	must(alice.Put("doc", secret))
+	must(alice.Put(context.Background(), "doc", secret))
 
 	// The server controls its blob store and swaps one chunk's bytes.
 	chunk := secret[4096:8192]
 	must(blobs.PutBlob(crypto.Hash(chunk), []byte("malicious replacement")))
 
-	_, err := bob.GetFrom(0, "doc")
+	_, err := bob.GetFrom(context.Background(), 0, "doc")
 	fmt.Printf("bob GetFrom(alice, doc) after the swap: %v\n", err)
 	fmt.Println("(an integrity error, not a halt — bulk data is unauthenticated, readers verify)")
 }
@@ -139,16 +140,16 @@ func forking() {
 	// COMMITs. The first replayed operation passes every check (weak
 	// fork-linearizability permits it)...
 	must(server.Replay(0, 0, 1))
-	if _, err := bob.GetFrom(0, "report"); errors.Is(err, kv.ErrNotFound) {
+	if _, err := bob.GetFrom(context.Background(), 0, "report"); errors.Is(err, kv.ErrNotFound) {
 		fmt.Println("bob's first read: key not found (the fork is still invisible)")
 	}
 
 	// ...but the next hidden-then-replayed write has no PROOF-signature
 	// in bob's branch, and bob's kv read detects the fork.
-	must(alice.Put("report", []byte("Q3 numbers")))
+	must(alice.Put(context.Background(), "report", []byte("Q3 numbers")))
 	must(server.Replay(0, server.CapturedOps(0)-1, 1))
 
-	_, err = bob.GetFrom(0, "report")
+	_, err = bob.GetFrom(context.Background(), 0, "report")
 	var det *ustor.DetectionError
 	if errors.As(err, &det) {
 		fmt.Printf("bob's next KV read: DETECTED — %v\n", det)
@@ -158,7 +159,7 @@ func forking() {
 	if failed, _ := clients[1].Failed(); failed {
 		fmt.Println("bob has halted; every further KV call fails:")
 	}
-	_, err = bob.GetFrom(0, "report")
+	_, err = bob.GetFrom(context.Background(), 0, "report")
 	fmt.Printf("  %v\n", err)
 }
 

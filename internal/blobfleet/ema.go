@@ -33,6 +33,10 @@ type backendState struct {
 	Backend
 	idx int
 
+	// Per-backend span names, concatenated once at fleet construction so
+	// the trace record path touches only static strings.
+	putSpan, getSpan string
+
 	mu    sync.Mutex
 	score float64
 	dead  bool

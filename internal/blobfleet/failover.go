@@ -2,6 +2,7 @@ package blobfleet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -12,6 +13,7 @@ import (
 
 	"faust/internal/crypto"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/transport"
 )
 
@@ -101,6 +103,15 @@ type Failover struct {
 }
 
 var _ transport.BlobStore = (*Failover)(nil)
+var _ transport.BlobStoreCtx = (*Failover)(nil)
+
+// Span names of the fleet's trace instrumentation. Per-backend attempt
+// spans ("fleet.put:<name>") are precomputed at construction; the retry
+// and repair names are shared constants.
+const (
+	spanFleetRetry  = "fleet.retry"
+	spanFleetRepair = "fleet.repair"
+)
 
 // probeHash is the address the prober asks dead backends for: any
 // answer — including a clean not-found — proves the backend is back.
@@ -171,6 +182,8 @@ func New(backends []Backend, opts Options) (*Failover, error) {
 			b.Name = fmt.Sprintf("backend%d", i)
 		}
 		st := &backendState{Backend: b, idx: i, score: 1.0}
+		st.putSpan = "fleet.put:" + b.Name
+		st.getSpan = "fleet.get:" + b.Name
 		st.alivenessG, st.upG, st.errsC = backendGauges(opts.Shard, b.Name)
 		st.alivenessG.Set(1000)
 		st.upG.Set(1)
@@ -257,8 +270,10 @@ func (f *Failover) backoff(k int) time.Duration {
 // withRetries runs op against one backend with capped exponential
 // backoff under the deadline. A not-found answer is returned immediately
 // (the backend is fine, the blob just isn't there); everything else is
-// retried while attempts and time budget remain.
-func (f *Failover) withRetries(deadline time.Time, op func() error) error {
+// retried while attempts and time budget remain. Each backoff sleep is
+// recorded as a fleet.retry span of ctx's trace, so a traced operation
+// that limped through retries shows where the time went.
+func (f *Failover) withRetries(ctx context.Context, deadline time.Time, op func() error) error {
 	var err error
 	for attempt := 0; attempt < f.opts.RetryAttempts; attempt++ {
 		if err = op(); err == nil || errors.Is(err, fs.ErrNotExist) {
@@ -273,7 +288,9 @@ func (f *Failover) withRetries(deadline time.Time, op func() error) error {
 		}
 		f.retries.Add(1)
 		fmRetries.Inc()
+		retryStart := time.Now()
 		f.opts.Sleep(sleep)
+		trace.Event(ctx, spanFleetRetry, retryStart)
 	}
 	return err
 }
@@ -293,6 +310,13 @@ func (f *Failover) verified(hash, data []byte) bool {
 // durable copy is enough to succeed (the trust model needs any one
 // verifiable replica); zero copies is an error.
 func (f *Failover) PutBlob(hash, data []byte) error {
+	return f.PutBlobCtx(context.Background(), hash, data)
+}
+
+// PutBlobCtx implements transport.BlobStoreCtx: PutBlob with every
+// per-backend attempt (including its retries) recorded as a span of
+// ctx's trace.
+func (f *Failover) PutBlobCtx(ctx context.Context, hash, data []byte) error {
 	deadline := time.Now().Add(f.opts.OpDeadline)
 	alive, dead := f.candidates()
 	cands := alive
@@ -306,7 +330,9 @@ func (f *Failover) PutBlob(hash, data []byte) error {
 		if wrote >= f.opts.WriteReplicas {
 			break
 		}
-		err := f.withRetries(deadline, func() error { return b.Store.PutBlob(hash, data) })
+		actx, h := trace.Child(ctx, b.putSpan)
+		err := f.withRetries(actx, deadline, func() error { return b.Store.PutBlob(hash, data) })
+		h.End()
 		f.report(b, err == nil)
 		if err != nil {
 			b.errsC.Inc()
@@ -338,12 +364,20 @@ func (f *Failover) PutBlob(hash, data []byte) error {
 // backends get one last-resort attempt only if no alive backend served
 // the blob. A secondary-served blob is written back to the primary.
 func (f *Failover) GetBlob(hash []byte) ([]byte, error) {
+	return f.GetBlobCtx(context.Background(), hash)
+}
+
+// GetBlobCtx implements transport.BlobStoreCtx: GetBlob with every
+// per-backend attempt recorded as a span of ctx's trace.
+func (f *Failover) GetBlobCtx(ctx context.Context, hash []byte) ([]byte, error) {
 	deadline := time.Now().Add(f.opts.OpDeadline)
 	alive, dead := f.candidates()
 
 	notFound := 0
 	var errs []error
 	try := func(b *backendState, retry bool) ([]byte, bool) {
+		actx, h := trace.Child(ctx, b.getSpan)
+		defer h.End()
 		var data []byte
 		op := func() error {
 			var err error
@@ -352,7 +386,7 @@ func (f *Failover) GetBlob(hash []byte) ([]byte, error) {
 		}
 		var err error
 		if retry {
-			err = f.withRetries(deadline, op)
+			err = f.withRetries(actx, deadline, op)
 		} else {
 			err = op()
 		}
@@ -389,7 +423,7 @@ func (f *Failover) GetBlob(hash []byte) ([]byte, error) {
 		if b.idx != 0 {
 			f.failoverGets.Add(1)
 			fmFailovers["get"].Inc()
-			f.readRepair(hash, data)
+			f.readRepair(ctx, hash, data)
 		}
 		return data
 	}
@@ -414,12 +448,14 @@ func (f *Failover) GetBlob(hash []byte) ([]byte, error) {
 // recovered (or lagging) primary converges from live read traffic. Best
 // effort and synchronous: a single attempt whose result still feeds the
 // primary's aliveness.
-func (f *Failover) readRepair(hash, data []byte) {
+func (f *Failover) readRepair(ctx context.Context, hash, data []byte) {
 	primary := f.backends[0]
 	if primary.isDead() {
 		return
 	}
+	_, h := trace.Child(ctx, spanFleetRepair)
 	err := primary.Store.PutBlob(hash, data)
+	h.End()
 	f.report(primary, err == nil)
 	if err == nil {
 		f.readRepairs.Add(1)

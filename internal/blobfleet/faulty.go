@@ -1,6 +1,7 @@
 package blobfleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -68,6 +69,7 @@ type FaultyBlobs struct {
 }
 
 var _ transport.BlobStore = (*FaultyBlobs)(nil)
+var _ transport.BlobStoreCtx = (*FaultyBlobs)(nil)
 
 // NewFaultyBlobs wraps inner with the given fault mix. The name labels
 // injected-fault metrics and error messages.
@@ -191,8 +193,19 @@ func (f *FaultyBlobs) gate(op string) error {
 
 // PutBlob implements transport.BlobStore.
 func (f *FaultyBlobs) PutBlob(hash, data []byte) error {
+	return f.PutBlobCtx(context.Background(), hash, data)
+}
+
+// PutBlobCtx implements transport.BlobStoreCtx: injected faults happen
+// inside the caller's traced attempt, and the context is forwarded when
+// the inner store accepts one (a wrapped fleet), so fault injection is
+// transparent to tracing.
+func (f *FaultyBlobs) PutBlobCtx(ctx context.Context, hash, data []byte) error {
 	if err := f.gate("put"); err != nil {
 		return err
+	}
+	if bc, ok := f.inner.(transport.BlobStoreCtx); ok {
+		return bc.PutBlobCtx(ctx, hash, data)
 	}
 	return f.inner.PutBlob(hash, data)
 }
@@ -202,10 +215,21 @@ func (f *FaultyBlobs) PutBlob(hash, data []byte) error {
 // the backend misbehaves on the wire, like a real flaky or byzantine
 // store, while its disk state stays whatever the inner store holds.
 func (f *FaultyBlobs) GetBlob(hash []byte) ([]byte, error) {
+	return f.GetBlobCtx(context.Background(), hash)
+}
+
+// GetBlobCtx implements transport.BlobStoreCtx (see PutBlobCtx).
+func (f *FaultyBlobs) GetBlobCtx(ctx context.Context, hash []byte) ([]byte, error) {
 	if err := f.gate("get"); err != nil {
 		return nil, err
 	}
-	data, err := f.inner.GetBlob(hash)
+	var data []byte
+	var err error
+	if bc, ok := f.inner.(transport.BlobStoreCtx); ok {
+		data, err = bc.GetBlobCtx(ctx, hash)
+	} else {
+		data, err = f.inner.GetBlob(hash)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@
 package byzantine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -74,20 +75,20 @@ func NewForkingServer(n int, partition [][]int) (*ForkingServer, error) {
 
 // HandleSubmit routes the submit to the client's branch and captures it
 // for potential replay into other branches.
-func (f *ForkingServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+func (f *ForkingServer) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
 	f.mu.Lock()
 	branch := f.branches[f.branchOf[from]]
 	f.captured[from] = append(f.captured[from], s)
 	f.mu.Unlock()
-	return branch.HandleSubmit(from, s)
+	return branch.HandleSubmit(ctx, from, s)
 }
 
 // HandleCommit routes the commit to the client's branch.
-func (f *ForkingServer) HandleCommit(from int, c *wire.Commit) {
+func (f *ForkingServer) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
 	f.mu.Lock()
 	branch := f.branches[f.branchOf[from]]
 	f.mu.Unlock()
-	branch.HandleCommit(from, c)
+	branch.HandleCommit(ctx, from, c)
 }
 
 // Replay feeds the opIndex-th captured SUBMIT of client into the given
@@ -108,7 +109,7 @@ func (f *ForkingServer) Replay(client, opIndex, branch int) error {
 	b := f.branches[branch]
 	s := subs[opIndex]
 	f.mu.Unlock()
-	b.HandleSubmit(client, s)
+	b.HandleSubmit(context.Background(), client, s)
 	return nil
 }
 
@@ -135,8 +136,8 @@ var _ transport.ServerCore = (*ReplyTamperServer)(nil)
 // snapshots aliasing its live state, and a tamper that mutated those in
 // place would corrupt the inner server for every client instead of lying
 // to this one.
-func (t *ReplyTamperServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
-	r := t.Inner.HandleSubmit(from, s)
+func (t *ReplyTamperServer) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	r := t.Inner.HandleSubmit(ctx, from, s)
 	if r == nil || t.Tamper == nil {
 		return r
 	}
@@ -144,8 +145,8 @@ func (t *ReplyTamperServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 }
 
 // HandleCommit delegates.
-func (t *ReplyTamperServer) HandleCommit(from int, c *wire.Commit) {
-	t.Inner.HandleCommit(from, c)
+func (t *ReplyTamperServer) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
+	t.Inner.HandleCommit(ctx, from, c)
 }
 
 // CrashServer behaves correctly for the first Limit submits, then crashes
@@ -167,7 +168,7 @@ func NewCrashServer(n, limit int) *CrashServer {
 }
 
 // HandleSubmit serves until the crash point, then goes silent.
-func (c *CrashServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+func (c *CrashServer) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
 	c.mu.Lock()
 	c.seen++
 	crashed := c.seen > c.Limit
@@ -175,18 +176,18 @@ func (c *CrashServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 	if crashed {
 		return nil
 	}
-	return c.inner.HandleSubmit(from, s)
+	return c.inner.HandleSubmit(ctx, from, s)
 }
 
 // HandleCommit is dropped after the crash point.
-func (c *CrashServer) HandleCommit(from int, m *wire.Commit) {
+func (c *CrashServer) HandleCommit(ctx context.Context, from int, m *wire.Commit) {
 	c.mu.Lock()
 	crashed := c.seen > c.Limit
 	c.mu.Unlock()
 	if crashed {
 		return
 	}
-	c.inner.HandleCommit(from, m)
+	c.inner.HandleCommit(ctx, from, m)
 }
 
 // DropCommitServer forwards submits to a correct server but discards all
@@ -205,9 +206,9 @@ func NewDropCommitServer(n int) *DropCommitServer {
 }
 
 // HandleSubmit delegates to the correct server.
-func (d *DropCommitServer) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
-	return d.inner.HandleSubmit(from, s)
+func (d *DropCommitServer) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	return d.inner.HandleSubmit(ctx, from, s)
 }
 
 // HandleCommit silently discards the commit.
-func (d *DropCommitServer) HandleCommit(int, *wire.Commit) {}
+func (d *DropCommitServer) HandleCommit(context.Context, int, *wire.Commit) {}

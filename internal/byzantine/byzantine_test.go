@@ -1,6 +1,7 @@
 package byzantine
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -53,7 +54,7 @@ func TestFig3AttackUndetectedByUSTOR(t *testing.T) {
 
 	// write0(X0, u) — served by branch 0.
 	p := rec.Invoke(0, history.OpWrite, 0, []byte("u"))
-	w, err := c0.WriteX([]byte("u"))
+	w, err := c0.WriteX(context.Background(), []byte("u"))
 	if err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestFig3AttackUndetectedByUSTOR(t *testing.T) {
 
 	// read1(X0) -> bottom — served by branch 1, which has not seen the write.
 	p = rec.Invoke(1, history.OpRead, 0, nil)
-	r1, err := c1.ReadX(0)
+	r1, err := c1.ReadX(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("first read: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestFig3AttackUndetectedByUSTOR(t *testing.T) {
 
 	// read1(X0) -> u, still with no detection.
 	p = rec.Invoke(1, history.OpRead, 0, nil)
-	r2, err := c1.ReadX(0)
+	r2, err := c1.ReadX(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("second read must pass all checks (accuracy): %v", err)
 	}
@@ -258,8 +259,8 @@ func TestDropCommitServerDetectedBySoleWriter(t *testing.T) {
 func TestCrashServerCommitIgnoredAfterCrash(t *testing.T) {
 	// Purely for coverage of the post-crash commit path.
 	server := NewCrashServer(1, 0)
-	server.HandleCommit(0, &wire.Commit{Ver: version.New(1)})
-	if r := server.HandleSubmit(0, &wire.Submit{}); r != nil {
+	server.HandleCommit(context.Background(), 0, &wire.Commit{Ver: version.New(1)})
+	if r := server.HandleSubmit(context.Background(), 0, &wire.Submit{}); r != nil {
 		t.Fatal("crashed server replied")
 	}
 }

@@ -24,6 +24,7 @@
 package faustproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -210,7 +211,7 @@ func (c *Client) Write(x []byte) (int64, error) {
 	if err := c.opStart(); err != nil {
 		return 0, err
 	}
-	res, err := c.us.WriteX(x)
+	res, err := c.us.WriteX(context.Background(), x)
 	c.opEnd()
 	if err != nil {
 		return 0, err
@@ -225,7 +226,7 @@ func (c *Client) Read(j int) ([]byte, int64, error) {
 	if err := c.opStart(); err != nil {
 		return nil, 0, err
 	}
-	res, err := c.us.ReadX(j)
+	res, err := c.us.ReadX(context.Background(), j)
 	c.opEnd()
 	if err != nil {
 		return nil, 0, err
@@ -536,7 +537,7 @@ func (c *Client) dummyReadLoop() {
 		if busy {
 			continue
 		}
-		res, err := c.us.ReadX(reg)
+		res, err := c.us.ReadX(context.Background(), reg)
 		if err != nil {
 			// Detection is handled by the fail handler; transport errors
 			// mean shutdown. Either way this loop is done.

@@ -1,6 +1,7 @@
 package kv_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -36,7 +37,7 @@ func benchPair(b *testing.B, nkeys int, opts ...kv.Option) (owner, reader *kv.St
 	for i := range items {
 		items[i] = kv.Item{Key: workload.KeyName(i), Value: []byte(fmt.Sprintf("value-%06d", i))}
 	}
-	if err := owner.PutBatch(items); err != nil {
+	if err := owner.PutBatch(context.Background(), items); err != nil {
 		b.Fatal(err)
 	}
 	reader = open(1, kv.WithNodeCacheBudget(0))
@@ -53,7 +54,7 @@ func BenchmarkKVPut(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := workload.KeyName(i % nkeys)
-		if err := owner.Put(key, []byte(fmt.Sprintf("overwrite-%d", i))); err != nil {
+		if err := owner.Put(context.Background(), key, []byte(fmt.Sprintf("overwrite-%d", i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +70,7 @@ func BenchmarkKVGetFrom(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reader.GetFrom(0, workload.KeyName(i%nkeys)); err != nil {
+		if _, err := reader.GetFrom(context.Background(), 0, workload.KeyName(i%nkeys)); err != nil {
 			b.Fatal(err)
 		}
 	}

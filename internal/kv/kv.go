@@ -36,15 +36,31 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"faust/internal/crypto"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/transport"
 	"faust/internal/ustor"
 	"faust/internal/version"
+)
+
+// Span names of the KV stages. Static constants (hotpathalloc): the
+// record path never formats. Operation roots are created per public
+// call; node/chunk spans nest under them and, through the blob channel,
+// over the wire into the server's trace entry for the same ID.
+const (
+	spanPut    = "kv.put"
+	spanGet    = "kv.get"
+	spanGetF   = "kv.getfrom"
+	spanList   = "kv.list"
+	spanDelete = "kv.delete"
+	spanNode   = "kv.node"
+	spanChunk  = "kv.chunk"
 )
 
 // DefaultChunkSize is the default split size for values. Values up to
@@ -67,8 +83,8 @@ var ErrNotFound = errors.New("kv: key not found")
 type Register interface {
 	ID() int
 	N() int
-	WriteX(x []byte) (ustor.OpResult, error)
-	ReadX(j int) (ustor.ReadResult, error)
+	WriteX(ctx context.Context, x []byte) (ustor.OpResult, error)
+	ReadX(ctx context.Context, j int) (ustor.ReadResult, error)
 	Version() version.Version
 	// ObservedTimestamp returns V[j] of the client's current version
 	// without copying it; the value cache consults it on every hit.
@@ -233,7 +249,7 @@ func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, er
 	if s.events == nil {
 		s.events = obs.Default().Events()
 	}
-	res, err := reg.ReadX(reg.ID())
+	res, err := reg.ReadX(context.Background(), reg.ID())
 	if err != nil {
 		return nil, fmt.Errorf("kv: bootstrapping from own register: %w", err)
 	}
@@ -243,7 +259,7 @@ func Open(reg Register, blobs transport.BlobChannel, opts ...Option) (*Store, er
 		if err != nil {
 			return nil, fmt.Errorf("kv: own register: %w", err)
 		}
-		root, err := s.loadTree(rr)
+		root, err := s.loadTree(context.Background(), rr)
 		if err != nil {
 			return nil, fmt.Errorf("kv: recovering own directory: %w", err)
 		}
@@ -306,8 +322,10 @@ func (s *Store) Keys() []string {
 // The value may be empty; nil is stored as empty. A failed Put leaves
 // the namespace unchanged (the previous tree is immutable; rollback is
 // dropping the new root, an O(1) pointer discard).
-func (s *Store) Put(key string, value []byte) error {
-	return s.PutBatch([]Item{{Key: key, Value: value}})
+// The context carries the operation's trace (see package obs/trace);
+// pass context.Background() when untraced.
+func (s *Store) Put(ctx context.Context, key string, value []byte) error {
+	return s.PutBatch(ctx, []Item{{Key: key, Value: value}})
 }
 
 // PutBatch stores several key/value pairs in one commit: one tree
@@ -315,10 +333,12 @@ func (s *Store) Put(key string, value []byte) error {
 // with bounded parallelism. Later items win on duplicate keys. The
 // batch is atomic — either the single commit publishes every pair or
 // the namespace is unchanged.
-func (s *Store) PutBatch(items []Item) error {
+func (s *Store) PutBatch(ctx context.Context, items []Item) error {
 	if len(items) == 0 {
 		return nil
 	}
+	ctx, op := trace.Start(ctx, spanPut)
+	defer op.End()
 	// Validate everything BEFORE any byte leaves the client: an
 	// oversized entry would commit state every reader — and the owner's
 	// own next bootstrap — rejects as malformed.
@@ -369,7 +389,9 @@ func (s *Store) PutBatch(items []Item) error {
 	s.mu.Unlock()
 	if err := s.forEachParallel(len(missing), func(k int) error {
 		u := missing[k]
-		if err := s.blobs.PutBlob(u.hash, u.data); err != nil {
+		cctx, h := trace.Child(ctx, spanChunk)
+		defer h.End()
+		if err := s.blobs.PutBlob(cctx, u.hash, u.data); err != nil {
 			return fmt.Errorf("kv: uploading chunk: %w", err)
 		}
 		s.statBlobPut(len(u.data))
@@ -389,14 +411,16 @@ func (s *Store) PutBatch(items []Item) error {
 	for i := range entries {
 		root = treePut(root, entries[i], s.shape)
 	}
-	return s.commit(root)
+	return s.commit(ctx, root)
 }
 
 // Delete removes key from the own namespace. Deleting an absent key
 // returns ErrNotFound. Chunks and orphaned tree nodes are not
 // garbage-collected from the blob store (content addressing makes them
 // harmless; other entries or readers may share them).
-func (s *Store) Delete(key string) error {
+func (s *Store) Delete(ctx context.Context, key string) error {
+	ctx, op := trace.Start(ctx, spanDelete)
+	defer op.End()
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	s.mu.Lock()
@@ -406,7 +430,7 @@ func (s *Store) Delete(key string) error {
 	if !ok {
 		return ErrNotFound
 	}
-	return s.commit(newRoot)
+	return s.commit(ctx, newRoot)
 }
 
 // commit uploads the dirty nodes of newRoot's path (everything without a
@@ -414,10 +438,10 @@ func (s *Store) Delete(key string) error {
 // register. Only on success does the in-memory root advance; a failure
 // leaves the previous, still-valid tree in place — O(1) rollback by
 // construction. Caller holds s.wmu.
-func (s *Store) commit(newRoot *node) error {
+func (s *Store) commit(ctx context.Context, newRoot *node) error {
 	rr := &rootRecord{Gen: s.gen + 1, RootHash: emptyTreeRoot}
 	if newRoot != nil {
-		if err := s.uploadDirty(newRoot); err != nil {
+		if err := s.uploadDirty(ctx, newRoot); err != nil {
 			return err
 		}
 		rr.NumEntries = newRoot.count()
@@ -425,7 +449,7 @@ func (s *Store) commit(newRoot *node) error {
 		rr.Height = treeHeight(newRoot)
 		rr.RootHash = newRoot.hash
 	}
-	if _, err := s.reg.WriteX(encodeRoot(rr)); err != nil {
+	if _, err := s.reg.WriteX(ctx, encodeRoot(rr)); err != nil {
 		return fmt.Errorf("kv: committing root record: %w", err)
 	}
 	s.mu.Lock()
@@ -442,7 +466,7 @@ func (s *Store) commit(newRoot *node) error {
 // hashes. Within one depth the nodes are independent, so each level is
 // uploaded with bounded parallelism — a bulk PutBatch commit pipelines
 // its sibling subtrees instead of paying one serial round trip per node.
-func (s *Store) uploadDirty(root *node) error {
+func (s *Store) uploadDirty(ctx context.Context, root *node) error {
 	var levels [][]*node
 	var collect func(n *node, depth int)
 	collect = func(n *node, depth int) {
@@ -477,7 +501,9 @@ func (s *Store) uploadDirty(root *node) error {
 			}
 			enc := encodeNode(n)
 			h := crypto.Hash(enc)
-			if err := s.blobs.PutBlob(h, enc); err != nil {
+			nctx, hn := trace.Child(ctx, spanNode)
+			defer hn.End()
+			if err := s.blobs.PutBlob(nctx, h, enc); err != nil {
 				return fmt.Errorf("kv: uploading tree node: %w", err)
 			}
 			s.statBlobPut(len(enc))
@@ -494,7 +520,9 @@ func (s *Store) uploadDirty(root *node) error {
 // authoritative (single-writer), so Get costs no register round trip;
 // chunks not in the validating cache are fetched over the blob channel
 // (in parallel) and hash-checked.
-func (s *Store) Get(key string) ([]byte, error) {
+func (s *Store) Get(ctx context.Context, key string) ([]byte, error) {
+	ctx, op := trace.Start(ctx, spanGet)
+	defer op.End()
 	s.mu.Lock()
 	root := s.root
 	s.mu.Unlock()
@@ -502,7 +530,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return s.assemble(e)
+	return s.assemble(ctx, e)
 }
 
 // GetFrom reads a key of client j's namespace with full authentication:
@@ -510,11 +538,13 @@ func (s *Store) Get(key string) ([]byte, error) {
 // path and chunk fetches as needed — every fetched node hash-checked
 // against the reference that named it before use. For the own namespace
 // it is equivalent to Get.
-func (s *Store) GetFrom(j int, key string) ([]byte, error) {
+func (s *Store) GetFrom(ctx context.Context, j int, key string) ([]byte, error) {
 	if j == s.reg.ID() {
-		return s.Get(key)
+		return s.Get(ctx, key)
 	}
-	rr, ownerT, err := s.readRoot(j)
+	ctx, op := trace.Start(ctx, spanGetF)
+	defer op.End()
+	rr, ownerT, err := s.readRoot(ctx, j)
 	if err != nil {
 		return nil, err
 	}
@@ -523,11 +553,11 @@ func (s *Store) GetFrom(j int, key string) ([]byte, error) {
 		// semantics documented on ustor.Client.Read).
 		return nil, ErrNotFound
 	}
-	e, err := s.remoteFind(rr, key)
+	e, err := s.remoteFind(ctx, rr, key)
 	if err != nil {
 		return nil, err
 	}
-	value, err := s.assemble(e)
+	value, err := s.assemble(ctx, e)
 	if err != nil {
 		return nil, err
 	}
@@ -541,18 +571,20 @@ func (s *Store) GetFrom(j int, key string) ([]byte, error) {
 // verifying every node of j's current directory tree (leaves are where
 // the keys live, so a listing is necessarily O(n); the level-by-level
 // fetches run with bounded parallelism).
-func (s *Store) ListFrom(j int) ([]string, error) {
+func (s *Store) ListFrom(ctx context.Context, j int) ([]string, error) {
 	if j == s.reg.ID() {
 		return s.Keys(), nil
 	}
-	rr, _, err := s.readRoot(j)
+	ctx, op := trace.Start(ctx, spanList)
+	defer op.End()
+	rr, _, err := s.readRoot(ctx, j)
 	if err != nil {
 		return nil, err
 	}
 	if rr == nil {
 		return nil, nil
 	}
-	return s.remoteKeys(rr)
+	return s.remoteKeys(ctx, rr)
 }
 
 // CachedGetFrom is GetFrom with register-version-based caching: when the
@@ -566,9 +598,9 @@ func (s *Store) ListFrom(j int) ([]string, error) {
 // The freshness contract is therefore weaker than GetFrom's: the value
 // is as fresh as the client's last contact with the server, never
 // fresher. Use GetFrom when read-your-peers'-writes matters.
-func (s *Store) CachedGetFrom(j int, key string) ([]byte, error) {
+func (s *Store) CachedGetFrom(ctx context.Context, j int, key string) ([]byte, error) {
 	if j == s.reg.ID() {
-		return s.Get(key)
+		return s.Get(ctx, key)
 	}
 	s.mu.Lock()
 	if byKey := s.valCache[j]; byKey != nil {
@@ -584,15 +616,15 @@ func (s *Store) CachedGetFrom(j int, key string) ([]byte, error) {
 		}
 	}
 	s.mu.Unlock()
-	return s.GetFrom(j, key)
+	return s.GetFrom(ctx, j, key)
 }
 
 // readRoot performs the authenticated register read of client j and
 // returns j's current root record (nil for a never-written register)
 // plus the owner timestamp this read observed (MEM[j].T, which
 // Algorithm 1 line 51 pins to V[j] at the moment of the read).
-func (s *Store) readRoot(j int) (*rootRecord, int64, error) {
-	res, err := s.reg.ReadX(j)
+func (s *Store) readRoot(ctx context.Context, j int) (*rootRecord, int64, error) {
+	res, err := s.reg.ReadX(ctx, j)
 	if err != nil {
 		return nil, 0, fmt.Errorf("kv: reading register %d: %w", j, err)
 	}
@@ -658,11 +690,11 @@ func (s *Store) rememberValueLocked(j int, key string, value []byte, ownerT int6
 // declared and validating the declared subtree facts at every step. The
 // root node's totals are checked against the root record, so the
 // metadata a reader reports is pinned to the register-committed hash.
-func (s *Store) remoteFind(rr *rootRecord, key string) (*entry, error) {
+func (s *Store) remoteFind(ctx context.Context, rr *rootRecord, key string) (*entry, error) {
 	if rr.NumEntries == 0 {
 		return nil, ErrNotFound
 	}
-	n, err := s.getNode(rr.RootHash)
+	n, err := s.getNode(ctx, rr.RootHash)
 	if err != nil {
 		return nil, err
 	}
@@ -689,7 +721,7 @@ func (s *Store) remoteFind(rr *rootRecord, key string) (*entry, error) {
 			return nil, ErrNotFound
 		}
 		c := &n.children[childIndex(n.children, key)]
-		child, err := s.getNode(c.hash)
+		child, err := s.getNode(ctx, c.hash)
 		if err != nil {
 			return nil, err
 		}
@@ -702,11 +734,11 @@ func (s *Store) remoteFind(rr *rootRecord, key string) (*entry, error) {
 
 // remoteKeys fetches and verifies client j's whole tree level by level
 // (bounded-parallel fetches) and returns the sorted key list.
-func (s *Store) remoteKeys(rr *rootRecord) ([]string, error) {
+func (s *Store) remoteKeys(ctx context.Context, rr *rootRecord) ([]string, error) {
 	if rr.NumEntries == 0 {
 		return nil, nil
 	}
-	root, err := s.getNode(rr.RootHash)
+	root, err := s.getNode(ctx, rr.RootHash)
 	if err != nil {
 		return nil, err
 	}
@@ -749,7 +781,7 @@ func (s *Store) remoteKeys(rr *rootRecord) ([]string, error) {
 		}
 		next := make([]*node, len(refs))
 		if err := s.forEachParallel(len(refs), func(k int) error {
-			child, err := s.getNode(refs[k].hash)
+			child, err := s.getNode(ctx, refs[k].hash)
 			if err != nil {
 				return err
 			}
@@ -772,11 +804,11 @@ func (s *Store) remoteKeys(rr *rootRecord) ([]string, error) {
 // same every remote read performs. Children are linked on COPIES of the
 // decoded nodes: cached nodes are shared and immutable, the owner tree
 // needs child pointers.
-func (s *Store) loadTree(rr *rootRecord) (*node, error) {
+func (s *Store) loadTree(ctx context.Context, rr *rootRecord) (*node, error) {
 	if rr.NumEntries == 0 {
 		return nil, nil
 	}
-	root, err := s.loadNodeCopy(rr.RootHash)
+	root, err := s.loadNodeCopy(ctx, rr.RootHash)
 	if err != nil {
 		return nil, err
 	}
@@ -810,7 +842,7 @@ func (s *Store) loadTree(rr *rootRecord) (*node, error) {
 		}
 		next := make([]*node, len(refs))
 		if err := s.forEachParallel(len(refs), func(k int) error {
-			child, err := s.loadNodeCopy(refs[k].hash)
+			child, err := s.loadNodeCopy(ctx, refs[k].hash)
 			if err != nil {
 				return err
 			}
@@ -829,8 +861,8 @@ func (s *Store) loadTree(rr *rootRecord) (*node, error) {
 
 // loadNodeCopy fetches a verified node and returns a private copy with
 // its hash resolved, safe for the owner tree to link children into.
-func (s *Store) loadNodeCopy(hash []byte) (*node, error) {
-	dn, err := s.getNode(hash)
+func (s *Store) loadNodeCopy(ctx context.Context, hash []byte) (*node, error) {
+	dn, err := s.getNode(ctx, hash)
 	if err != nil {
 		return nil, err
 	}
@@ -846,7 +878,7 @@ func (s *Store) loadNodeCopy(hash []byte) (*node, error) {
 // the hash that named it (committed by the parent node or the root
 // record) BEFORE decoding; cache entries were verified the same way at
 // insertion and are immutable afterwards.
-func (s *Store) getNode(hash []byte) (*node, error) {
+func (s *Store) getNode(ctx context.Context, hash []byte) (*node, error) {
 	key := string(hash)
 	s.mu.Lock()
 	if n, ok := s.nodeCache[key]; ok {
@@ -855,7 +887,9 @@ func (s *Store) getNode(hash []byte) (*node, error) {
 		return n, nil
 	}
 	s.mu.Unlock()
-	blob, err := s.blobs.GetBlob(hash)
+	ctx, h := trace.Child(ctx, spanNode)
+	defer h.End()
+	blob, err := s.blobs.GetBlob(ctx, hash)
 	if err != nil {
 		return nil, fmt.Errorf("kv: fetching tree node: %w", err)
 	}
@@ -907,7 +941,7 @@ func (s *Store) cacheNode(key string, n *node, size int) {
 // assemble reconstructs an entry's value from its chunks, fetching what
 // the validating cache does not hold with bounded parallelism and
 // hash-verifying every chunk before use.
-func (s *Store) assemble(e *entry) ([]byte, error) {
+func (s *Store) assemble(ctx context.Context, e *entry) ([]byte, error) {
 	if e.Size == 0 && len(e.Chunks) == 0 {
 		return []byte{}, nil
 	}
@@ -935,7 +969,9 @@ func (s *Store) assemble(e *entry) ([]byte, error) {
 	s.mu.Unlock()
 	if err := s.forEachParallel(len(missing), func(k int) error {
 		h := missing[k]
-		fetched, err := s.blobs.GetBlob(h)
+		cctx, hc := trace.Child(ctx, spanChunk)
+		defer hc.End()
+		fetched, err := s.blobs.GetBlob(cctx, h)
 		if err != nil {
 			return fmt.Errorf("kv: fetching chunk: %w", err)
 		}

@@ -2,6 +2,7 @@ package kv_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -53,7 +54,7 @@ func TestPutGetDeleteRoundTrip(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	s := cl.stores[0]
 
-	if _, err := s.Get("missing"); !errors.Is(err, kv.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "missing"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("get missing = %v, want ErrNotFound", err)
 	}
 	pairs := map[string]string{
@@ -62,12 +63,12 @@ func TestPutGetDeleteRoundTrip(t *testing.T) {
 		"article": "some longer value that still fits one chunk",
 	}
 	for k, v := range pairs {
-		if err := s.Put(k, []byte(v)); err != nil {
+		if err := s.Put(context.Background(), k, []byte(v)); err != nil {
 			t.Fatalf("put %q: %v", k, err)
 		}
 	}
 	for k, v := range pairs {
-		got, err := s.Get(k)
+		got, err := s.Get(context.Background(), k)
 		if err != nil || string(got) != v {
 			t.Fatalf("get %q = %q, %v; want %q", k, got, err, v)
 		}
@@ -77,27 +78,27 @@ func TestPutGetDeleteRoundTrip(t *testing.T) {
 		t.Fatalf("keys = %v", keys)
 	}
 	// Overwrite.
-	if err := s.Put("config", []byte("v2")); err != nil {
+	if err := s.Put(context.Background(), "config", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := s.Get("config"); string(got) != "v2" {
+	if got, _ := s.Get(context.Background(), "config"); string(got) != "v2" {
 		t.Fatalf("overwrite lost: %q", got)
 	}
 	// Delete.
-	if err := s.Delete("config"); err != nil {
+	if err := s.Delete(context.Background(), "config"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("config"); !errors.Is(err, kv.ErrNotFound) {
+	if _, err := s.Get(context.Background(), "config"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("get deleted = %v, want ErrNotFound", err)
 	}
-	if err := s.Delete("config"); !errors.Is(err, kv.ErrNotFound) {
+	if err := s.Delete(context.Background(), "config"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("double delete = %v, want ErrNotFound", err)
 	}
 	// Key validation.
-	if err := s.Put("", []byte("x")); err == nil {
+	if err := s.Put(context.Background(), "", []byte("x")); err == nil {
 		t.Fatal("empty key accepted")
 	}
-	if err := s.Put(string(make([]byte, kv.MaxKeyLen+1)), []byte("x")); err == nil {
+	if err := s.Put(context.Background(), string(make([]byte, kv.MaxKeyLen+1)), []byte("x")); err == nil {
 		t.Fatal("oversized key accepted")
 	}
 }
@@ -117,7 +118,7 @@ func TestLargeValueChunking(t *testing.T) {
 		value[i] = byte(i % 251)
 	}
 	before := owner.Stats()
-	if err := owner.Put("big", value); err != nil {
+	if err := owner.Put(context.Background(), "big", value); err != nil {
 		t.Fatal(err)
 	}
 	after := owner.Stats()
@@ -126,7 +127,7 @@ func TestLargeValueChunking(t *testing.T) {
 		t.Fatalf("puts = %d, want 12 (11 chunks + directory)", puts)
 	}
 
-	got, err := reader.GetFrom(0, "big")
+	got, err := reader.GetFrom(context.Background(), 0, "big")
 	if err != nil {
 		t.Fatalf("cross-client get: %v", err)
 	}
@@ -137,7 +138,7 @@ func TestLargeValueChunking(t *testing.T) {
 	// Chunk dedup: re-putting the same value under another key uploads
 	// only the directory again.
 	before = owner.Stats()
-	if err := owner.Put("big-copy", value); err != nil {
+	if err := owner.Put(context.Background(), "big-copy", value); err != nil {
 		t.Fatal(err)
 	}
 	after = owner.Stats()
@@ -154,7 +155,7 @@ func TestPutCapacityLimits(t *testing.T) {
 	cl := newCluster(t, 1, nil, kv.WithChunkSize(1))
 	s := cl.stores[0]
 	before := s.Stats()
-	err := s.Put("huge", make([]byte, 1<<16+1)) // 65537 one-byte chunks
+	err := s.Put(context.Background(), "huge", make([]byte, 1<<16+1)) // 65537 one-byte chunks
 	if err == nil || !strings.Contains(err.Error(), "chunks, limit") {
 		t.Fatalf("oversized chunk count accepted: %v", err)
 	}
@@ -174,7 +175,7 @@ func TestTamperedChunkRejected(t *testing.T) {
 	owner, reader := cl.stores[0], cl.stores[1]
 
 	value := bytes.Repeat([]byte("sensitive "), 100) // multiple chunks
-	if err := owner.Put("doc", value); err != nil {
+	if err := owner.Put(context.Background(), "doc", value); err != nil {
 		t.Fatal(err)
 	}
 	// The attacker (the server owns its blob store) swaps the bytes of
@@ -184,7 +185,7 @@ func TestTamperedChunkRejected(t *testing.T) {
 	if err := cl.blobs.PutBlob(h, []byte("tampered bytes of the wrong content")); err != nil {
 		t.Fatal(err)
 	}
-	_, err := reader.GetFrom(0, "doc")
+	_, err := reader.GetFrom(context.Background(), 0, "doc")
 	if err == nil || !strings.Contains(err.Error(), "tampered chunk") {
 		t.Fatalf("tampered chunk not rejected: %v", err)
 	}
@@ -205,11 +206,11 @@ func TestForgedDirectoryRejected(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	owner, reader := cl.stores[0], cl.stores[1]
 
-	if err := owner.Put("k", []byte("v")); err != nil {
+	if err := owner.Put(context.Background(), "k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// Learn the current directory honestly first.
-	if _, err := reader.GetFrom(0, "k"); err != nil {
+	if _, err := reader.GetFrom(context.Background(), 0, "k"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -218,7 +219,7 @@ func TestForgedDirectoryRejected(t *testing.T) {
 	// validate), modeling a compromised owner binary the reader must
 	// still not trust blindly. Planting arbitrary bytes at the forged
 	// hash must not help: the node digest check catches the swap.
-	honest, err := cl.clients[1].ReadX(0)
+	honest, err := cl.clients[1].ReadX(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,12 +235,12 @@ func TestForgedDirectoryRejected(t *testing.T) {
 	// The WARM reader (nodes cached from the honest read) must reject
 	// exactly like a cold one — the forged hash names a different node,
 	// so the cache cannot satisfy it.
-	_, err = reader.GetFrom(0, "k")
+	_, err = reader.GetFrom(context.Background(), 0, "k")
 	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
 		t.Fatalf("warm-cache reader accepted forged root hash: %v", err)
 	}
 	freshReader := freshStore(t, cl, 1)
-	_, err = freshReader.GetFrom(0, "k")
+	_, err = freshReader.GetFrom(context.Background(), 0, "k")
 	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
 		t.Fatalf("forged root hash not rejected: %v", err)
 	}
@@ -252,17 +253,17 @@ func TestForgedDirectoryRejected(t *testing.T) {
 	if err := cl.clients[0].Write(miscounted); err != nil {
 		t.Fatal(err)
 	}
-	_, err = reader.GetFrom(0, "k")
+	_, err = reader.GetFrom(context.Background(), 0, "k")
 	if err == nil || !strings.Contains(err.Error(), "metadata mismatch") {
 		t.Fatalf("warm-cache reader accepted forged metadata: %v", err)
 	}
-	_, err = freshStore(t, cl, 1).GetFrom(0, "k")
+	_, err = freshStore(t, cl, 1).GetFrom(context.Background(), 0, "k")
 	if err == nil || !strings.Contains(err.Error(), "metadata mismatch") {
 		t.Fatalf("forged metadata not rejected: %v", err)
 	}
 
 	// Restore a correct root record (and fresh tree nodes).
-	if err := owner.Put("k2", []byte("w")); err != nil {
+	if err := owner.Put(context.Background(), "k2", []byte("w")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -274,7 +275,7 @@ func TestForgedDirectoryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	freshReader2 := freshStore(t, cl, 1)
-	_, err = freshReader2.GetFrom(0, "k")
+	_, err = freshReader2.GetFrom(context.Background(), 0, "k")
 	if err == nil || !strings.Contains(err.Error(), "tampered tree node") {
 		t.Fatalf("tampered tree node not rejected: %v", err)
 	}
@@ -302,7 +303,7 @@ func TestForkingServerDetectedThroughKV(t *testing.T) {
 	if err := server.Replay(0, 0, 1); err != nil { // owner's bootstrap read
 		t.Fatal(err)
 	}
-	if _, err := reader.GetFrom(0, "k"); !errors.Is(err, kv.ErrNotFound) {
+	if _, err := reader.GetFrom(context.Background(), 0, "k"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("pre-detection read = %v, want ErrNotFound (empty namespace, no failure)", err)
 	}
 	if failed, reason := cl.clients[1].Failed(); failed {
@@ -312,13 +313,13 @@ func TestForkingServerDetectedThroughKV(t *testing.T) {
 	// ...but once the reader has the owner in its digest chain, the next
 	// replayed-but-never-committed operation has no PROOF-signature in
 	// this branch, and detection fires through the KV read.
-	if err := owner.Put("k", []byte("v1")); err != nil {
+	if err := owner.Put(context.Background(), "k", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := server.Replay(0, server.CapturedOps(0)-1, 1); err != nil {
 		t.Fatal(err)
 	}
-	_, err = reader.GetFrom(0, "k")
+	_, err = reader.GetFrom(context.Background(), 0, "k")
 	var det *ustor.DetectionError
 	if !errors.As(err, &det) {
 		t.Fatalf("forking server not detected through KV API: %v", err)
@@ -327,7 +328,7 @@ func TestForkingServerDetectedThroughKV(t *testing.T) {
 		t.Fatalf("client did not halt (reason=%v)", reason)
 	}
 	// Every subsequent KV operation fails: the client halted.
-	if _, err := reader.GetFrom(0, "k"); !errors.Is(err, ustor.ErrHalted) {
+	if _, err := reader.GetFrom(context.Background(), 0, "k"); !errors.Is(err, ustor.ErrHalted) {
 		t.Fatalf("post-detection read = %v, want ErrHalted", err)
 	}
 }
@@ -340,17 +341,17 @@ func TestValidatingCache(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	owner, reader := cl.stores[0], cl.stores[1]
 
-	if err := owner.Put("hot", []byte("value-1")); err != nil {
+	if err := owner.Put(context.Background(), "hot", []byte("value-1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reader.GetFrom(0, "hot"); err != nil {
+	if _, err := reader.GetFrom(context.Background(), 0, "hot"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Repeat GetFrom: register round trip only, zero blob traffic
 	// (directory unchanged, chunks cached).
 	before := reader.Stats()
-	if v, err := reader.GetFrom(0, "hot"); err != nil || string(v) != "value-1" {
+	if v, err := reader.GetFrom(context.Background(), 0, "hot"); err != nil || string(v) != "value-1" {
 		t.Fatalf("repeat GetFrom = %q, %v", v, err)
 	}
 	after := reader.Stats()
@@ -363,7 +364,7 @@ func TestValidatingCache(t *testing.T) {
 
 	// CachedGetFrom: no server round trip at all.
 	before = reader.Stats()
-	if v, err := reader.CachedGetFrom(0, "hot"); err != nil || string(v) != "value-1" {
+	if v, err := reader.CachedGetFrom(context.Background(), 0, "hot"); err != nil || string(v) != "value-1" {
 		t.Fatalf("CachedGetFrom = %q, %v", v, err)
 	}
 	after = reader.Stats()
@@ -377,16 +378,16 @@ func TestValidatingCache(t *testing.T) {
 	// Invalidation: the owner writes; the reader observes the version
 	// change through a fresh read of ANOTHER key; the cached entry for
 	// "hot" is then stale and CachedGetFrom refetches the new value.
-	if err := owner.Put("other", []byte("x")); err != nil {
+	if err := owner.Put(context.Background(), "other", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := owner.Put("hot", []byte("value-2")); err != nil {
+	if err := owner.Put(context.Background(), "hot", []byte("value-2")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reader.GetFrom(0, "other"); err != nil {
+	if _, err := reader.GetFrom(context.Background(), 0, "other"); err != nil {
 		t.Fatal(err) // advances the reader's observed version of owner
 	}
-	v, err := reader.CachedGetFrom(0, "hot")
+	v, err := reader.CachedGetFrom(context.Background(), 0, "hot")
 	if err != nil || string(v) != "value-2" {
 		t.Fatalf("post-invalidation CachedGetFrom = %q, %v; want value-2", v, err)
 	}
@@ -398,10 +399,10 @@ func TestValidatingCache(t *testing.T) {
 func TestEmptyNamespaceBootstrap(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	reader := cl.stores[1]
-	if _, err := reader.GetFrom(0, "anything"); !errors.Is(err, kv.ErrNotFound) {
+	if _, err := reader.GetFrom(context.Background(), 0, "anything"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("get from empty namespace = %v, want ErrNotFound", err)
 	}
-	keys, err := reader.ListFrom(0)
+	keys, err := reader.ListFrom(context.Background(), 0)
 	if err != nil || len(keys) != 0 {
 		t.Fatalf("list of empty namespace = %v, %v", keys, err)
 	}
@@ -414,11 +415,11 @@ func TestEmptyNamespaceBootstrap(t *testing.T) {
 func TestReopenResumesNamespace(t *testing.T) {
 	cl := newCluster(t, 1, nil)
 	s := cl.stores[0]
-	if err := s.Put("persisted", []byte("survives")); err != nil {
+	if err := s.Put(context.Background(), "persisted", []byte("survives")); err != nil {
 		t.Fatal(err)
 	}
 	reopened := freshStore(t, cl, 0)
-	if got, err := reopened.Get("persisted"); err != nil || string(got) != "survives" {
+	if got, err := reopened.Get(context.Background(), "persisted"); err != nil || string(got) != "survives" {
 		t.Fatalf("reopened get = %q, %v", got, err)
 	}
 	if reopened.Len() != 1 {
@@ -430,11 +431,11 @@ func TestListFrom(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	owner, reader := cl.stores[0], cl.stores[1]
 	for _, k := range []string{"b", "a", "c"} {
-		if err := owner.Put(k, []byte(k)); err != nil {
+		if err := owner.Put(context.Background(), k, []byte(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	keys, err := reader.ListFrom(0)
+	keys, err := reader.ListFrom(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func freshStore(t *testing.T, cl *cluster, i int) *kv.Store {
 // root record (read via reader client 1).
 func rootHashOfRegister(t *testing.T, cl *cluster, j int) []byte {
 	t.Helper()
-	res, err := cl.clients[1].ReadX(j)
+	res, err := cl.clients[1].ReadX(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}

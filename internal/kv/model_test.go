@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -76,16 +77,16 @@ func TestModelRandomOps(t *testing.T) {
 			switch rng.Intn(5) {
 			case 0, 1: // put
 				v := value()
-				if err := mc.stores[c].Put(key, v); err != nil {
+				if err := mc.stores[c].Put(context.Background(), key, v); err != nil {
 					t.Fatalf("seed %d step %d: put: %v", seed, step, err)
 				}
 				models[c][key] = v
 			case 2: // own get
-				got, err := mc.stores[c].Get(key)
+				got, err := mc.stores[c].Get(context.Background(), key)
 				want, ok := models[c][key]
 				checkModelRead(t, seed, step, "get", got, err, want, ok)
 			case 3: // delete
-				err := mc.stores[c].Delete(key)
+				err := mc.stores[c].Delete(context.Background(), key)
 				if _, ok := models[c][key]; ok {
 					if err != nil {
 						t.Fatalf("seed %d step %d: delete: %v", seed, step, err)
@@ -96,7 +97,7 @@ func TestModelRandomOps(t *testing.T) {
 				}
 			case 4: // cross-get (authenticated read of the other namespace)
 				owner := (c + 1) % n
-				got, err := mc.stores[c].GetFrom(owner, key)
+				got, err := mc.stores[c].GetFrom(context.Background(), owner, key)
 				want, ok := models[owner][key]
 				checkModelRead(t, seed, step, "cross-get", got, err, want, ok)
 			}
@@ -112,12 +113,12 @@ func TestModelRandomOps(t *testing.T) {
 			if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
 				t.Fatalf("seed %d: keys(%d) = %v, want %v", seed, c, gotKeys, wantKeys)
 			}
-			crossKeys, err := mc.stores[(c+1)%n].ListFrom(c)
+			crossKeys, err := mc.stores[(c+1)%n].ListFrom(context.Background(), c)
 			if err != nil || fmt.Sprint(crossKeys) != fmt.Sprint(wantKeys) {
 				t.Fatalf("seed %d: ListFrom(%d) = %v, %v", seed, c, crossKeys, err)
 			}
 			for _, k := range wantKeys {
-				if got, err := mc.stores[(c+1)%n].GetFrom(c, k); err != nil || !bytes.Equal(got, models[c][k]) {
+				if got, err := mc.stores[(c+1)%n].GetFrom(context.Background(), c, k); err != nil || !bytes.Equal(got, models[c][k]) {
 					t.Fatalf("seed %d: final cross-get %d/%q: %v", seed, c, k, err)
 				}
 			}
@@ -129,7 +130,7 @@ func TestModelRandomOps(t *testing.T) {
 			t.Fatalf("seed %d: reopen: %v", seed, err)
 		}
 		for k, v := range models[0] {
-			if got, err := reopened.Get(k); err != nil || !bytes.Equal(got, v) {
+			if got, err := reopened.Get(context.Background(), k); err != nil || !bytes.Equal(got, v) {
 				t.Fatalf("seed %d: reopened get %q: %v", seed, k, err)
 			}
 		}
@@ -176,7 +177,7 @@ func TestModelEveryNodeTamperDetected(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		k := fmt.Sprintf("key-%03d", i)
 		v := bytes.Repeat([]byte{byte(i)}, 100+i)
-		if err := owner.Put(k, v); err != nil {
+		if err := owner.Put(context.Background(), k, v); err != nil {
 			t.Fatal(err)
 		}
 		model[k] = v
@@ -187,7 +188,7 @@ func TestModelEveryNodeTamperDetected(t *testing.T) {
 
 	// Walk the committed tree from the register's root record and
 	// collect every node hash with one key each node is responsible for.
-	res, err := mc.clients[1].ReadX(0)
+	res, err := mc.clients[1].ReadX(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestModelEveryNodeTamperDetected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = reader.GetFrom(0, tgt.key)
+		_, err = reader.GetFrom(context.Background(), 0, tgt.key)
 		if err == nil {
 			t.Fatalf("node %d/%d: read through a corrupted node succeeded", i, len(targets))
 		}
@@ -255,7 +256,7 @@ func TestModelEveryNodeTamperDetected(t *testing.T) {
 		if err := mc.blobs.PutBlob(tgt.hash, orig); err != nil {
 			t.Fatal(err)
 		}
-		got, err := reader.GetFrom(0, tgt.key)
+		got, err := reader.GetFrom(context.Background(), 0, tgt.key)
 		if err != nil || !bytes.Equal(got, model[tgt.key]) {
 			t.Fatalf("node %d/%d: post-restore read: %v", i, len(targets), err)
 		}

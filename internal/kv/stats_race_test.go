@@ -1,6 +1,7 @@
 package kv_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -14,7 +15,7 @@ func TestStatsConcurrentWithOperations(t *testing.T) {
 	cl := newCluster(t, 2, nil)
 	s := cl.stores[0]
 	peer := cl.stores[1]
-	if err := peer.Put("shared", []byte("peer value")); err != nil {
+	if err := peer.Put(context.Background(), "shared", []byte("peer value")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -24,7 +25,7 @@ func TestStatsConcurrentWithOperations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			if err := s.Put(fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+			if err := s.Put(context.Background(), fmt.Sprintf("k%d", i), []byte("value")); err != nil {
 				t.Errorf("put: %v", err)
 				return
 			}
@@ -33,7 +34,7 @@ func TestStatsConcurrentWithOperations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			if _, err := s.GetFrom(1, "shared"); err != nil {
+			if _, err := s.GetFrom(context.Background(), 1, "shared"); err != nil {
 				t.Errorf("getfrom: %v", err)
 				return
 			}
@@ -42,7 +43,7 @@ func TestStatsConcurrentWithOperations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			if _, err := s.CachedGetFrom(1, "shared"); err != nil {
+			if _, err := s.CachedGetFrom(context.Background(), 1, "shared"); err != nil {
 				t.Errorf("cachedgetfrom: %v", err)
 				return
 			}

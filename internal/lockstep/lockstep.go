@@ -19,6 +19,7 @@ package lockstep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -81,10 +82,10 @@ func (s *Server) AttachPusher(push func(to int, m wire.Message) error) {
 
 // HandleSubmit implements transport.ServerCore; the lock-step protocol
 // does not use USTOR SUBMIT messages.
-func (s *Server) HandleSubmit(int, *wire.Submit) *wire.Reply { return nil }
+func (s *Server) HandleSubmit(context.Context, int, *wire.Submit) *wire.Reply { return nil }
 
 // HandleCommit implements transport.ServerCore; unused.
-func (s *Server) HandleCommit(int, *wire.Commit) {}
+func (s *Server) HandleCommit(context.Context, int, *wire.Commit) {}
 
 // HandleMessage processes LSSubmit and LSCommit messages.
 func (s *Server) HandleMessage(from int, m wire.Message) {

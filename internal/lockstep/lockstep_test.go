@@ -1,6 +1,7 @@
 package lockstep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -119,10 +120,12 @@ type tamperLS struct {
 	push   func(to int, m wire.Message) error
 }
 
-func (tl *tamperLS) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
-	return tl.inner.HandleSubmit(from, s)
+func (tl *tamperLS) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	return tl.inner.HandleSubmit(ctx, from, s)
 }
-func (tl *tamperLS) HandleCommit(from int, c *wire.Commit) { tl.inner.HandleCommit(from, c) }
+func (tl *tamperLS) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
+	tl.inner.HandleCommit(ctx, from, c)
+}
 func (tl *tamperLS) HandleMessage(from int, m wire.Message) {
 	tl.inner.HandleMessage(from, m)
 }

@@ -10,14 +10,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
+
+	"faust/internal/obs/trace"
 )
 
 // This file turns a Registry into an operator-facing HTTP surface:
 //
 //	/metrics        Prometheus text exposition (counters, gauges,
-//	                histograms with per-octave buckets + p50/p99/p999)
-//	/events         the protocol event log as JSON, oldest first
+//	                histograms with per-octave buckets + p50/p99/p999,
+//	                plus trace-ID exemplar comments)
+//	/events         the protocol event log as JSON, oldest first;
+//	                filterable with ?kind=, ?since=<seq>, ?limit=
+//	/trace          retained traces as Chrome trace_event JSON
+//	                (load in Perfetto or chrome://tracing)
+//	/trace/slowest  the n slowest retained traces as span trees (?n=)
 //	/debug/vars     expvar JSON (the registry publishes itself under "faust")
 //	/debug/pprof/*  the standard runtime profiles
 //
@@ -143,6 +152,13 @@ func writePromHistogram(w io.Writer, m *metric, emitHeader func(w io.Writer, fam
 	fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", m.family, labels, s.Count)
 	fmt.Fprintf(w, "%s_sum%s %g\n", m.family, m.labels, float64(s.Sum)/1e9)
 	fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, s.Count)
+	// The most recent over-threshold observation's trace ID, as a comment
+	// so plain 0.0.4 parsers skip it: the link from "the p999 spiked" to
+	// the retained trace that did it (GET /trace).
+	if e := ExemplarOf(m.h); e != nil {
+		fmt.Fprintf(w, "# EXEMPLAR %s%s trace_id=%s value=%g ts=%d\n",
+			m.family, m.labels, e.Trace.String(), float64(e.Value)/1e9, e.At)
+	}
 
 	for _, eq := range exportQuantiles {
 		name := m.family + eq.suffix
@@ -178,7 +194,7 @@ func (r *Registry) exportJSON() map[string]any {
 			out[key] = m.g.Value()
 		case kindHistogram:
 			s := m.h.Snapshot()
-			out[key] = map[string]any{
+			hj := map[string]any{
 				"count": s.Count,
 				"sum":   s.Sum,
 				"max":   s.Max,
@@ -187,6 +203,12 @@ func (r *Registry) exportJSON() map[string]any {
 				"p99":   s.P99(),
 				"p999":  s.P999(),
 			}
+			if e := ExemplarOf(m.h); e != nil {
+				hj["exemplar"] = map[string]any{
+					"trace": e.Trace.String(), "value": e.Value, "at": e.At,
+				}
+			}
+			out[key] = hj
 		}
 	}
 	for _, k := range r.events.Kinds() {
@@ -213,11 +235,66 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		evs := r.Events().Snapshot()
+		q := req.URL.Query()
+		if kind := q.Get("kind"); kind != "" {
+			kept := evs[:0:0]
+			for _, e := range evs {
+				if string(e.Kind) == kind {
+					kept = append(kept, e)
+				}
+			}
+			evs = kept
+		}
+		if s := q.Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			// Seq is strictly increasing, so "entries after seq N" is the
+			// tail starting at the first Seq > N.
+			i := 0
+			for i < len(evs) && evs[i].Seq <= since {
+				i++
+			}
+			evs = evs[i:]
+		}
+		if s := q.Get("limit"); s != "" {
+			limit, err := strconv.Atoi(s)
+			if err != nil || limit < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			if len(evs) > limit {
+				evs = evs[len(evs)-limit:] // most recent wins
+			}
+		}
+		if evs == nil {
+			evs = []Event{} // encode as [], not null, when the filter matches nothing
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(r.Events().Snapshot())
+		_ = enc.Encode(evs)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.Default().WriteTraceEvents(w)
+	})
+	mux.HandleFunc("/trace/slowest", func(w http.ResponseWriter, req *http.Request) {
+		n := 5
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trace.Default().WriteSlowest(w, n)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -230,20 +307,28 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "faust observability endpoint\n\n/metrics\n/events\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "faust observability endpoint\n\n/metrics\n/events\n/trace\n/trace/slowest\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }
 
 // Serve starts an HTTP server for the registry on addr and returns the
-// bound listener (so callers learn the port when addr ends in ":0"). The
-// server runs until the listener is closed.
-func Serve(addr string, r *Registry) (net.Listener, error) {
+// bound listener (so callers learn the port when addr ends in ":0") and
+// a shutdown function that closes the server and all its connections.
+// The read and idle timeouts bound what one slow or silent client can
+// hold open — this is an operator port, but it should not be the
+// process's easiest resource-exhaustion target.
+func Serve(addr string, r *Registry) (net.Listener, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln, nil
+	return ln, srv.Close, nil
 }

@@ -100,11 +100,11 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 	}
 
 	// Scrape.
-	mln, err := obs.Serve("127.0.0.1:0", obs.Default())
+	mln, mshut, err := obs.Serve("127.0.0.1:0", obs.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mln.Close()
+	defer mshut()
 	resp, err := http.Get("http://" + mln.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)

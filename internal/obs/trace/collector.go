@@ -1,0 +1,376 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector sizing. All bounds are fixed at compile time: the collector
+// can never grow past tabSize live traces and ringSize retained ones,
+// whatever the load.
+const (
+	maxSpans = 128  // spans recorded per trace; later claims are dropped
+	tabSize  = 1024 // live-trace table slots (power of two)
+	tabMask  = tabSize - 1
+	probeLen = 16  // open-addressing probe window
+	ringSize = 256 // retained traces (power of two)
+	ringMask = ringSize - 1
+
+	// staleAfter evicts live entries nothing has touched for this long —
+	// traces whose finishing SUBMIT never arrived (pure blob traffic,
+	// crashed peers). The sweep runs piggybacked on lookups and exports.
+	staleAfter = 5 * time.Second
+)
+
+// Span slot states. Claims write the slot's fields and then publish
+// with a state store; the seal-time copy reads the state first, so a
+// half-written slot is skipped rather than torn.
+const (
+	slotEmpty uint32 = iota
+	slotOpen
+	slotDone
+)
+
+// sealedRefs marks an entry whose refcount can never be reacquired.
+const sealedRefs int32 = -1 << 30
+
+// active is one live trace. Entries are pooled: the refcount protects
+// every access, and the seal (the only path that recycles an entry)
+// runs exactly once, when the count hits zero after the trace is done.
+type active struct {
+	c     *Collector
+	id    TraceID
+	slot  int32 // index in c.tab
+	local bool  // rooted in this process (client op) — feeds Last()
+	start int64
+
+	keep  atomic.Bool  // retain regardless of duration
+	done  atomic.Bool  // no more local roots expected
+	refs  atomic.Int32 // open handles; sealedRefs once recycling
+	touch atomic.Int64 // latest span timestamp seen
+	n     atomic.Int32 // claimed span slots
+
+	state [maxSpans]atomic.Uint32
+	spans [maxSpans]Span
+}
+
+// acquire takes a reference, failing once the entry is sealing. An idle
+// entry (refs 0, not done) is re-acquirable: remote-joined traces sit
+// idle between the wire requests of one operation, with no local handle
+// holding them open. The CAS races fairly with trySeal's 0→sealedRefs
+// claim, so an entry is either re-acquired or sealed, never both.
+func (a *active) acquire() bool {
+	for {
+		r := a.refs.Load()
+		if r < 0 {
+			return false
+		}
+		if a.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference; the last one out seals a done entry.
+func (a *active) release() {
+	if a.refs.Add(-1) == 0 && a.done.Load() {
+		a.c.trySeal(a)
+	}
+}
+
+// claim allocates a span slot and publishes its start. Returns -1 when
+// the trace is full (the span is dropped, the trace survives). The
+// caller must hold a reference.
+func (a *active) claim(parent SpanID, name string, start int64) (int32, SpanID) {
+	idx := a.n.Add(1) - 1
+	if idx >= maxSpans {
+		return -1, 0
+	}
+	id := SpanID(nextID())
+	s := &a.spans[idx]
+	s.ID, s.Parent, s.Name, s.Start, s.Dur = id, parent, name, start, 0
+	a.state[idx].Store(slotOpen)
+	a.touchAt(start)
+	return idx, id
+}
+
+// finishSpan completes a claimed slot.
+func (a *active) finishSpan(idx int32, end int64) {
+	if idx < 0 {
+		return
+	}
+	s := &a.spans[idx]
+	s.Dur = end - s.Start
+	a.state[idx].Store(slotDone)
+	a.touchAt(end)
+}
+
+// touchAt advances the last-activity stamp monotonically.
+func (a *active) touchAt(t int64) {
+	for {
+		cur := a.touch.Load()
+		if t <= cur || a.touch.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Collector holds the live-trace table and the retained ring. All
+// operations are lock-free; see the package comment for the contract.
+type Collector struct {
+	tab  [tabSize]atomic.Pointer[active]
+	ring [ringSize]atomic.Pointer[Trace]
+	pos  atomic.Uint64
+	last atomic.Pointer[Trace] // most recent locally-rooted trace
+	drop atomic.Uint64         // traces dropped because the table was full
+
+	pool sync.Pool
+}
+
+var defaultCollector = NewCollector()
+
+// Default returns the process-wide collector.
+func Default() *Collector { return defaultCollector }
+
+// NewCollector returns an empty collector (tests use private ones; the
+// runtime shares Default).
+func NewCollector() *Collector {
+	c := &Collector{}
+	c.pool.New = func() any { return &active{} }
+	return c
+}
+
+// Dropped returns the number of traces dropped because the live table
+// was full — exported so silent truncation is visible on /trace.
+func (c *Collector) Dropped() uint64 { return c.drop.Load() }
+
+func hashID(id TraceID) uint32 {
+	h := uint32(2166136261)
+	for _, b := range id[:8] {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// newEntry prepares a pooled entry for a trace. The refcount is
+// published last: its store is the release edge that makes the plain
+// field writes visible to any later acquirer.
+func (c *Collector) newEntry(id TraceID, now int64, local, keep bool) *active {
+	a := c.pool.Get().(*active)
+	a.c = c
+	a.id = id
+	a.slot = -1
+	a.local = local
+	a.start = now
+	a.keep.Store(keep)
+	a.done.Store(false)
+	a.touch.Store(now)
+	a.n.Store(0)
+	for i := range a.state {
+		a.state[i].Store(slotEmpty)
+	}
+	a.refs.Store(1)
+	return a
+}
+
+// insert publishes the entry into the table, evicting stale idle
+// entries that block its probe window. Returns false (and recycles
+// nothing — the caller owns the entry) when the window is full.
+func (c *Collector) insert(a *active, now int64) bool {
+	h := hashID(a.id)
+	for i := uint32(0); i < probeLen; i++ {
+		slot := (h + i) & tabMask
+		a.slot = int32(slot)
+		if c.tab[slot].CompareAndSwap(nil, a) {
+			return true
+		}
+		if e := c.tab[slot].Load(); e != nil && c.stale(e, now) {
+			c.evict(e)
+			if c.tab[slot].CompareAndSwap(nil, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// create mints a live entry for a new trace. Returns nil when the
+// table has no room (the trace is dropped, counted).
+func (c *Collector) create(id TraceID, now int64, local, keep bool) *active {
+	a := c.newEntry(id, now, local, keep)
+	if !c.insert(a, now) {
+		c.drop.Add(1)
+		a.refs.Store(sealedRefs)
+		c.pool.Put(a)
+		return nil
+	}
+	return a
+}
+
+// lookup finds and acquires the live entry for id, sweeping stale
+// entries it probes past. Returns nil when absent.
+func (c *Collector) lookup(id TraceID) *active {
+	now := time.Now().UnixNano()
+	h := hashID(id)
+	for i := uint32(0); i < probeLen; i++ {
+		e := c.tab[(h+i)&tabMask].Load()
+		if e == nil {
+			continue
+		}
+		if e.acquire() {
+			if e.id == id {
+				return e
+			}
+			e.release()
+		}
+		if c.stale(e, now) {
+			c.evict(e)
+		}
+	}
+	return nil
+}
+
+// join acquires the live entry for id, creating one if this process
+// has not seen the trace yet. Two racing first sights can create two
+// entries for one ID; the export groups by TraceID, so the only cost
+// is a split span list.
+func (c *Collector) join(id TraceID, now int64) *active {
+	if e := c.lookup(id); e != nil {
+		return e
+	}
+	return c.create(id, now, false, false)
+}
+
+// stale reports whether an entry is idle and old enough to evict.
+func (c *Collector) stale(e *active, now int64) bool {
+	return e.refs.Load() == 0 && now-e.touch.Load() > int64(staleAfter)
+}
+
+// evict marks an idle entry done and seals it if still unreferenced.
+func (c *Collector) evict(e *active) {
+	e.done.Store(true)
+	if e.refs.Load() == 0 {
+		c.trySeal(e)
+	}
+}
+
+// trySeal wins the right to seal: exactly one caller moves the count
+// from zero to the sealed sentinel and retires the entry.
+func (c *Collector) trySeal(a *active) {
+	if !a.refs.CompareAndSwap(0, sealedRefs) {
+		return
+	}
+	c.seal(a)
+}
+
+// seal retires a trace: removes it from the table, applies the tail
+// retention decision, publishes retained copies and recycles the entry.
+func (c *Collector) seal(a *active) {
+	if a.slot >= 0 {
+		c.tab[a.slot].CompareAndSwap(a, nil)
+	}
+	end := a.touch.Load()
+	if end < a.start {
+		end = a.start
+	}
+	dur := end - a.start
+	slow := slowNs.Load()
+	retain := a.keep.Load() || (slow > 0 && dur >= slow)
+	if retain || a.local {
+		t := &Trace{ID: a.id, Start: a.start, Dur: dur}
+		n := a.n.Load()
+		if n > maxSpans {
+			n = maxSpans
+		}
+		t.Spans = make([]Span, 0, n)
+		for i := int32(0); i < n; i++ {
+			st := a.state[i].Load()
+			if st == slotEmpty {
+				continue
+			}
+			s := a.spans[i]
+			if st == slotOpen {
+				s.Dur = end - s.Start
+			}
+			t.Spans = append(t.Spans, s)
+		}
+		if retain {
+			c.ring[(c.pos.Add(1)-1)&ringMask].Store(t)
+		}
+		if a.local {
+			c.last.Store(t)
+		}
+	}
+	c.pool.Put(a)
+}
+
+// Sweep seals every idle entry older than the staleness bound. Exports
+// call it so lingering traces become visible without waiting for a
+// probe collision.
+func (c *Collector) Sweep() {
+	now := time.Now().UnixNano()
+	for i := range c.tab {
+		if e := c.tab[i].Load(); e != nil && c.stale(e, now) {
+			c.evict(e)
+		}
+	}
+}
+
+// Snapshot returns the retained traces, newest last.
+func (c *Collector) Snapshot() []*Trace {
+	out := make([]*Trace, 0, ringSize)
+	for i := range c.ring {
+		if t := c.ring[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sortTraces(out, func(a, b *Trace) bool { return a.Start < b.Start })
+	return out
+}
+
+// Slowest returns up to n retained traces, longest first.
+func (c *Collector) Slowest(n int) []*Trace {
+	out := c.Snapshot()
+	sortTraces(out, func(a, b *Trace) bool { return a.Dur > b.Dur })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Last returns the most recently sealed locally-rooted trace (the REPL
+// `trace` command), or nil.
+func (c *Collector) Last() *Trace { return c.last.Load() }
+
+// Reset drops all retained and live state. Test helper: callers must
+// ensure no handles are open.
+func (c *Collector) Reset() {
+	for i := range c.tab {
+		if e := c.tab[i].Swap(nil); e != nil {
+			e.done.Store(true)
+			// Entries with open handles seal (harmlessly, off-table)
+			// when their last handle ends.
+			if e.refs.CompareAndSwap(0, sealedRefs) {
+				e.slot = -1
+			}
+		}
+	}
+	for i := range c.ring {
+		c.ring[i].Store(nil)
+	}
+	c.pos.Store(0)
+	c.last.Store(nil)
+	c.drop.Store(0)
+}
+
+// sortTraces is a tiny insertion sort — snapshots are bounded by
+// ringSize, and keeping sort out of the import set keeps this package
+// dependency-free for the wire and transport layers to import.
+func sortTraces(ts []*Trace, less func(a, b *Trace) bool) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && less(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Export surface. Nothing here is a hot path — fmt and encoding/json
+// are fine; the zero-alloc discipline applies to the record path only.
+
+// traceEvent is one Chrome trace_event in the JSON Array Format that
+// Perfetto and chrome://tracing load: a complete ("X") event with
+// microsecond timestamps.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteTraceEvents writes every retained trace as Chrome trace_event
+// JSON ({"traceEvents": [...]}). Each trace gets its own tid lane and a
+// thread_name metadata record carrying its hex ID, so Perfetto shows
+// one named track per trace with the spans nested by time containment.
+func (c *Collector) WriteTraceEvents(w io.Writer) error {
+	c.Sweep()
+	traces := c.Snapshot()
+	events := make([]traceEvent, 0, 64)
+	for tid, t := range traces {
+		events = append(events, traceEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid + 1,
+			Args: map[string]string{"name": "trace " + t.ID.String()},
+		})
+		for _, s := range t.Spans {
+			events = append(events, traceEvent{
+				Name: s.Name,
+				Cat:  "faust",
+				Ph:   "X",
+				Ts:   float64(s.Start) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Pid:  1,
+				Tid:  tid + 1,
+				Args: map[string]string{
+					"trace":  t.ID.String(),
+					"span":   strconv.FormatUint(uint64(s.ID), 16),
+					"parent": strconv.FormatUint(uint64(s.Parent), 16),
+				},
+			})
+		}
+	}
+	payload := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		Dropped     uint64       `json:"droppedTraces,omitempty"`
+	}{TraceEvents: events, Dropped: c.Dropped()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(payload)
+}
+
+// WriteTree renders the trace as an indented span tree with durations
+// and offsets from the trace start — the REPL `trace` command and
+// /trace/slowest format.
+func (t *Trace) WriteTree(w io.Writer) {
+	fmt.Fprintf(w, "trace %s  %s  %d spans\n",
+		t.ID.String(), time.Duration(t.Dur), len(t.Spans))
+	children := make(map[SpanID][]int, len(t.Spans))
+	ids := make(map[SpanID]bool, len(t.Spans))
+	for i := range t.Spans {
+		ids[t.Spans[i].ID] = true
+	}
+	var roots []int
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		if s.Parent != 0 && ids[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			// Orphans (parent span lives in the peer process) print as
+			// roots — over TCP each side holds half the tree.
+			roots = append(roots, i)
+		}
+	}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		s := &t.Spans[idx]
+		for i := 0; i < depth; i++ {
+			io.WriteString(w, "  ")
+		}
+		fmt.Fprintf(w, "%-24s %12s  @+%s\n",
+			s.Name, time.Duration(s.Dur), time.Duration(s.Start-t.Start))
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// WriteSlowest renders the n slowest retained traces as span trees.
+func (c *Collector) WriteSlowest(w io.Writer, n int) {
+	c.Sweep()
+	traces := c.Slowest(n)
+	if len(traces) == 0 {
+		io.WriteString(w, "no retained traces\n")
+		return
+	}
+	for i, t := range traces {
+		if i > 0 {
+			io.WriteString(w, "\n")
+		}
+		t.WriteTree(w)
+	}
+}

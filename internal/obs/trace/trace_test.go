@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTracing enables recording for one test against the default
+// collector and restores the disabled state afterwards.
+func withTracing(t *testing.T, sampleN int, slow time.Duration) {
+	t.Helper()
+	SetEnabled(true)
+	Configure(sampleN, slow)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		Configure(0, 0)
+		Default().Reset()
+	})
+}
+
+func TestStartChildEventRoundTrip(t *testing.T) {
+	withTracing(t, 1, 0)
+
+	ctx, root := Start(context.Background(), "op")
+	if id, span, keep, ok := FromContext(ctx); !ok || id.IsZero() || span == 0 || !keep {
+		t.Fatalf("FromContext = (%v, %v, %v, %v), want live kept trace", id, span, keep, ok)
+	}
+	cctx, child := Child(ctx, "stage")
+	Event(cctx, "queued", time.Now().Add(-time.Millisecond))
+	child.End()
+	root.End()
+
+	Default().Sweep()
+	last := Default().Last()
+	if last == nil {
+		t.Fatal("no trace retained after final handle ended")
+	}
+	names := map[string]bool{}
+	for _, s := range last.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"op", "stage", "queued"} {
+		if !names[want] {
+			t.Fatalf("span %q missing from %v", want, names)
+		}
+	}
+	// Parent links must resolve within the trace.
+	ids := map[SpanID]bool{}
+	for _, s := range last.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range last.Spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			t.Fatalf("span %q has dangling parent %d", s.Name, s.Parent)
+		}
+	}
+}
+
+func TestChildWithoutTraceRecordsNothing(t *testing.T) {
+	withTracing(t, 1, 0)
+
+	ctx, h := Child(context.Background(), "inner")
+	h.End()
+	if _, _, _, ok := FromContext(ctx); ok {
+		t.Fatal("Child minted a trace from a bare context")
+	}
+	if got := len(Default().Snapshot()); got != 0 {
+		t.Fatalf("%d traces retained, want 0", got)
+	}
+}
+
+func TestDisabledPathIsInert(t *testing.T) {
+	// Not enabled: every entry point must return zero values and leave
+	// the context untouched.
+	ctx := context.Background()
+	c2, h := Start(ctx, "op")
+	if c2 != ctx || h != (Handle{}) {
+		t.Fatal("disabled Start touched the context or returned a live handle")
+	}
+	h.End()
+	if _, _, _, ok := FromContext(c2); ok {
+		t.Fatal("disabled FromContext reported a live trace")
+	}
+}
+
+// TestCollectorConcurrentStress hammers the default collector from many
+// goroutines at once — local roots with nested children, remote joins
+// against both fresh and shared trace IDs, span-slot overflow, and
+// concurrent snapshot/export/sweep readers — and is meant to run under
+// -race: the collector promises lock-free recording safe against
+// concurrent sealing and eviction.
+func TestCollectorConcurrentStress(t *testing.T) {
+	withTracing(t, 1, 0)
+
+	const (
+		writers   = 8
+		perWriter = 300
+		readers   = 3
+	)
+	var wg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Shared remote IDs: several goroutines join the same trace
+	// concurrently, racing first-sight creation against lookups.
+	shared := make([]TraceID, 16)
+	for i := range shared {
+		shared[i] = NewTraceID()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				switch i % 3 {
+				case 0: // local root with children and an event
+					ctx, root := Start(context.Background(), "root")
+					cctx, c1 := Child(ctx, "child")
+					Event(cctx, "event", time.Now())
+					_, c2 := Child(cctx, "leaf")
+					c2.End()
+					c1.End()
+					root.End()
+				case 1: // remote join on a shared ID, non-final
+					id := shared[(w*perWriter+i)%len(shared)]
+					_, h := StartRemote(context.Background(), id, 0, true, false, "remote")
+					h.End()
+				case 2: // span-slot overflow: more claims than maxSpans
+					ctx, root := Start(context.Background(), "big")
+					for k := 0; k < maxSpans+8; k++ {
+						_, h := Child(ctx, "spam")
+						h.End()
+					}
+					root.End()
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				Default().Sweep()
+				_ = Default().Snapshot()
+				_ = Default().Slowest(3)
+				_ = Default().Last()
+				_ = Default().WriteTraceEvents(io.Discard)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	// Seal the lingering remote-join entries (they are never marked done
+	// by a final handle) and check the retained state is coherent.
+	Default().Sweep()
+	traces := Default().Snapshot()
+	if len(traces) == 0 {
+		t.Fatal("stress run retained no traces")
+	}
+	if len(traces) > ringSize {
+		t.Fatalf("%d retained traces exceed the ring bound %d", len(traces), ringSize)
+	}
+	for _, tr := range traces {
+		if len(tr.Spans) == 0 {
+			t.Fatalf("trace %s retained with zero spans", tr.ID)
+		}
+		if len(tr.Spans) > maxSpans {
+			t.Fatalf("trace %s has %d spans, above the %d cap", tr.ID, len(tr.Spans), maxSpans)
+		}
+		if tr.Dur < 0 {
+			t.Fatalf("trace %s has negative duration %d", tr.ID, tr.Dur)
+		}
+	}
+	if Default().Last() == nil {
+		t.Fatal("no locally-rooted trace recorded as Last")
+	}
+}
+
+// TestTailSamplingRetainsSlowTraces checks the retention decision: with
+// head sampling off and a slow threshold set, only traces that ran at
+// least that long are kept.
+func TestTailSamplingRetainsSlowTraces(t *testing.T) {
+	withTracing(t, 0, 10*time.Millisecond)
+
+	_, fast := Start(context.Background(), "fast")
+	fast.End()
+
+	_, slow := Start(context.Background(), "slow")
+	time.Sleep(15 * time.Millisecond)
+	slow.End()
+
+	Default().Sweep()
+	traces := Default().Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("%d traces retained, want exactly the slow one", len(traces))
+	}
+	if got := traces[0].Spans[0].Name; got != "slow" && got != "wait" {
+		t.Fatalf("retained trace's spans are %q, want the slow trace", got)
+	}
+}

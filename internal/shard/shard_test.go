@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ func TestRouterResolveDeclared(t *testing.T) {
 		t.Fatal("unknown shard resolved without a default template")
 	}
 	// Isolation: a submit to shard a must not appear in shard b.
-	coreA.HandleSubmit(0, &wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0}, Value: []byte("x")})
+	coreA.HandleSubmit(context.Background(), 0, &wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0}, Value: []byte("x")})
 	type pender interface{ PendingOps() int }
 	if got := coreA.(pender).PendingOps(); got != 1 {
 		t.Fatalf("shard a pending = %d, want 1", got)
@@ -121,7 +122,7 @@ func TestRouterPersistencePerShardDirs(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := &wire.Submit{T: 1, Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0}, Value: []byte("persist-me")}
-	if reply := coreA.HandleSubmit(0, sub); reply == nil {
+	if reply := coreA.HandleSubmit(context.Background(), 0, sub); reply == nil {
 		t.Fatal("persistent shard refused a submit")
 	}
 	preClose := coreA.(*store.Persistent).ExportState()

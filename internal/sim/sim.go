@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -104,7 +105,7 @@ func (cl *Cluster) Write(c int, value []byte) error {
 		ts, err = cl.FClients[c].Write(value)
 	} else {
 		var res ustor.OpResult
-		res, err = cl.UClients[c].WriteX(value)
+		res, err = cl.UClients[c].WriteX(context.Background(), value)
 		ts = res.Timestamp
 	}
 	if err != nil {
@@ -124,7 +125,7 @@ func (cl *Cluster) Read(c, reg int) ([]byte, error) {
 		val, ts, err = cl.FClients[c].Read(reg)
 	} else {
 		var res ustor.ReadResult
-		res, err = cl.UClients[c].ReadX(reg)
+		res, err = cl.UClients[c].ReadX(context.Background(), reg)
 		val, ts = res.Value, res.Timestamp
 	}
 	if err != nil {

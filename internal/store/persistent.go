@@ -1,9 +1,11 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"faust/internal/obs/trace"
 	"faust/internal/wire"
 )
 
@@ -12,8 +14,8 @@ import (
 // deterministic core with the same message interface can be persisted the
 // same way.
 type Core interface {
-	HandleSubmit(from int, s *wire.Submit) *wire.Reply
-	HandleCommit(from int, c *wire.Commit)
+	HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply
+	HandleCommit(ctx context.Context, from int, c *wire.Commit)
 	ExportState() []byte
 	RestoreState(state []byte) error
 }
@@ -75,9 +77,9 @@ func Open(core Core, backend Backend, opts Options) (*Persistent, error) {
 	for i, rec := range tail {
 		switch m := rec.Msg.(type) {
 		case *wire.Submit:
-			core.HandleSubmit(rec.From, m)
+			core.HandleSubmit(context.Background(), rec.From, m)
 		case *wire.Commit:
-			core.HandleCommit(rec.From, m)
+			core.HandleCommit(context.Background(), rec.From, m)
 		default:
 			return nil, fmt.Errorf("store: WAL record %d: %w", i, ErrBadRecord)
 		}
@@ -113,25 +115,31 @@ func (p *Persistent) N() int {
 // p.mu: the backend orders and coalesces concurrent flushes itself, so
 // submitters arriving while a sync is in flight append behind it and
 // share the next one instead of serializing on the wrapper lock.
-func (p *Persistent) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+func (p *Persistent) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
 	p.mu.Lock()
 	if p.broken != nil {
 		p.mu.Unlock()
 		return nil
 	}
-	if err := p.backend.Append(Record{From: from, Msg: s}); err != nil {
+	_, ha := trace.Child(ctx, "wal.append")
+	err := p.backend.Append(Record{From: from, Msg: s})
+	ha.End()
+	if err != nil {
 		p.broken = err
 		p.mu.Unlock()
 		return nil
 	}
-	reply := p.core.HandleSubmit(from, s)
+	reply := p.core.HandleSubmit(ctx, from, s)
 	p.bumpLocked()
 	broken := p.broken != nil // snapshot rotation failed: stay silent
 	p.mu.Unlock()
 	if broken {
 		return nil
 	}
-	if err := p.backend.Flush(); err != nil {
+	_, hf := trace.Child(ctx, "wal.fsync")
+	err = p.backend.Flush()
+	hf.End()
+	if err != nil {
 		p.mu.Lock()
 		p.broken = err
 		p.mu.Unlock()
@@ -141,7 +149,7 @@ func (p *Persistent) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 }
 
 // HandleCommit implements transport.ServerCore: log, then apply.
-func (p *Persistent) HandleCommit(from int, c *wire.Commit) {
+func (p *Persistent) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.broken != nil {
@@ -151,7 +159,7 @@ func (p *Persistent) HandleCommit(from int, c *wire.Commit) {
 		p.broken = err
 		return
 	}
-	p.core.HandleCommit(from, c)
+	p.core.HandleCommit(ctx, from, c)
 	p.bumpLocked()
 }
 

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -269,7 +270,7 @@ func TestPersistentStopsServingOnAppendFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := ps.HandleSubmit(0, submitRecord(0, 1).Msg.(*wire.Submit)); r != nil {
+	if r := ps.HandleSubmit(context.Background(), 0, submitRecord(0, 1).Msg.(*wire.Submit)); r != nil {
 		t.Fatal("server replied to an operation it could not log")
 	}
 	if ps.Err() == nil {

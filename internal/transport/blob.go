@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
 	"sync"
 	"sync/atomic"
 
+	"faust/internal/obs/trace"
 	"faust/internal/wire"
 )
 
@@ -65,14 +67,44 @@ type BlobStore interface {
 	GetBlob(hash []byte) ([]byte, error)
 }
 
+// BlobStoreCtx is an optional BlobStore extension for stores that want
+// the request's tracing context — the replicated blob fleet records its
+// per-backend attempts and retries as spans of the operation's trace.
+// BlobStore itself keeps context-free signatures: most stores (files, a
+// map) have nothing to trace, and the interface is implemented widely.
+type BlobStoreCtx interface {
+	PutBlobCtx(ctx context.Context, hash, data []byte) error
+	GetBlobCtx(ctx context.Context, hash []byte) ([]byte, error)
+}
+
+// putBlobStore routes a put to bs, through the ctx-aware entry point
+// when the store offers one.
+func putBlobStore(ctx context.Context, bs BlobStore, hash, data []byte) error {
+	if tc, ok := bs.(BlobStoreCtx); ok {
+		return tc.PutBlobCtx(ctx, hash, data)
+	}
+	return bs.PutBlob(hash, data)
+}
+
+func getBlobStore(ctx context.Context, bs BlobStore, hash []byte) ([]byte, error) {
+	if tc, ok := bs.(BlobStoreCtx); ok {
+		return tc.GetBlobCtx(ctx, hash)
+	}
+	return bs.GetBlob(hash)
+}
+
 // BlobChannel is the client-side handle of the bulk channel.
 // Implementations are safe for concurrent use and keep concurrent calls
 // in flight simultaneously — the TCP channel pipelines them over one
 // connection using wire-level request IDs — so a caller that wants
 // parallel transfers simply issues them from several goroutines.
+//
+// The context carries the operation's tracing context (attached to the
+// wire messages so server-side spans join the same trace); it is not
+// used for cancellation. Untraced callers pass context.Background().
 type BlobChannel interface {
-	PutBlob(hash, data []byte) error
-	GetBlob(hash []byte) ([]byte, error)
+	PutBlob(ctx context.Context, hash, data []byte) error
+	GetBlob(ctx context.Context, hash []byte) ([]byte, error)
 	Close() error
 }
 
@@ -157,23 +189,29 @@ func (b *MemBlobs) Len() int {
 // serveBlobMsg executes one decoded blob-channel request against a store
 // and returns the response message, echoing the request's ID so a
 // pipelining client can match it. Shared by the TCP connection loop and
-// the in-memory channel.
+// the in-memory channel. When the request carries a trace context, the
+// store call runs as a span of that trace (joined non-final: one KV
+// operation issues many blob requests against the same trace).
 func serveBlobMsg(bs BlobStore, m wire.Message) wire.Message {
 	switch req := m.(type) {
 	case *wire.BlobPut:
+		ctx, h := joinWireTrace(context.Background(), req.Trace, false, spanBlobPut)
+		defer h.End()
 		// Enforce the channel limits here so every store behind the
 		// server — in-memory or file-backed — rejects oversized blobs
 		// uniformly, whatever its own validation does.
 		err := checkBlobSizes(req.Hash, req.Data)
 		if err == nil {
-			err = bs.PutBlob(req.Hash, req.Data)
+			err = putBlobStore(ctx, bs, req.Hash, req.Data)
 		}
 		if err != nil {
 			return &wire.BlobAck{ID: req.ID, Hash: req.Hash, OK: false, Msg: err.Error()}
 		}
 		return &wire.BlobAck{ID: req.ID, Hash: req.Hash, OK: true}
 	case *wire.BlobGet:
-		data, err := bs.GetBlob(req.Hash)
+		ctx, h := joinWireTrace(context.Background(), req.Trace, false, spanBlobGet)
+		defer h.End()
+		data, err := getBlobStore(ctx, bs, req.Hash)
 		switch {
 		case err == nil:
 			return &wire.BlobData{ID: req.ID, Hash: req.Hash, Found: true, Data: data}
@@ -201,7 +239,7 @@ type memBlobChannel struct {
 
 var _ BlobChannel = (*memBlobChannel)(nil)
 
-func (c *memBlobChannel) PutBlob(hash, data []byte) error {
+func (c *memBlobChannel) PutBlob(ctx context.Context, hash, data []byte) error {
 	if c.dead.Load() {
 		return ErrClosed
 	}
@@ -211,14 +249,19 @@ func (c *memBlobChannel) PutBlob(hash, data []byte) error {
 	if c.nw.metrics {
 		c.nw.countBlob(true, len(hash)+len(data))
 	}
-	return c.nw.blobs.PutBlob(hash, data)
+	// In-process: the client's context IS the trace, no wire join needed.
+	ctx, h := trace.Child(ctx, spanBlobPut)
+	defer h.End()
+	return putBlobStore(ctx, c.nw.blobs, hash, data)
 }
 
-func (c *memBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+func (c *memBlobChannel) GetBlob(ctx context.Context, hash []byte) ([]byte, error) {
 	if c.dead.Load() {
 		return nil, ErrClosed
 	}
-	data, err := c.nw.blobs.GetBlob(hash)
+	ctx, h := trace.Child(ctx, spanBlobGet)
+	defer h.End()
+	data, err := getBlobStore(ctx, c.nw.blobs, hash)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -41,17 +42,17 @@ func TestMemBlobChannel(t *testing.T) {
 	}
 	data := bytes.Repeat([]byte("x"), 1000)
 	hash := crypto.Hash(data)
-	if err := ch.PutBlob(hash, data); err != nil {
+	if err := ch.PutBlob(context.Background(), hash, data); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	got, err := ch.GetBlob(hash)
+	got, err := ch.GetBlob(context.Background(), hash)
 	if err != nil {
 		t.Fatalf("get: %v", err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("blob round trip corrupted the data")
 	}
-	if _, err := ch.GetBlob(crypto.Hash([]byte("absent"))); !errors.Is(err, fs.ErrNotExist) {
+	if _, err := ch.GetBlob(context.Background(), crypto.Hash([]byte("absent"))); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("missing blob error = %v, want fs.ErrNotExist", err)
 	}
 	st := nw.Stats()
@@ -61,7 +62,7 @@ func TestMemBlobChannel(t *testing.T) {
 	if err := ch.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := ch.PutBlob(hash, data); !errors.Is(err, ErrClosed) {
+	if err := ch.PutBlob(context.Background(), hash, data); !errors.Is(err, ErrClosed) {
 		t.Fatalf("put after close = %v, want ErrClosed", err)
 	}
 
@@ -112,10 +113,10 @@ func TestTCPBlobChannel(t *testing.T) {
 	for _, size := range []int{0, 1, 4096, 1 << 20} {
 		data := bytes.Repeat([]byte{byte(size)}, size)
 		hash := crypto.Hash(data)
-		if err := ch.PutBlob(hash, data); err != nil {
+		if err := ch.PutBlob(context.Background(), hash, data); err != nil {
 			t.Fatalf("put %d bytes: %v", size, err)
 		}
-		got, err := ch.GetBlob(hash)
+		got, err := ch.GetBlob(context.Background(), hash)
 		if err != nil {
 			t.Fatalf("get %d bytes: %v", size, err)
 		}
@@ -123,13 +124,13 @@ func TestTCPBlobChannel(t *testing.T) {
 			t.Fatalf("%d-byte blob corrupted in transit", size)
 		}
 	}
-	if _, err := ch.GetBlob(crypto.Hash([]byte("never-stored"))); !errors.Is(err, fs.ErrNotExist) {
+	if _, err := ch.GetBlob(context.Background(), crypto.Hash([]byte("never-stored"))); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("missing blob error = %v, want fs.ErrNotExist", err)
 	}
 
 	// Oversized puts are refused client-side before any bytes move.
 	big := make([]byte, MaxBlobSize+1)
-	if err := ch.PutBlob(crypto.Hash([]byte("big")), big); err == nil {
+	if err := ch.PutBlob(context.Background(), crypto.Hash([]byte("big")), big); err == nil {
 		t.Fatal("oversized blob accepted")
 	}
 }
@@ -193,7 +194,7 @@ func TestTCPBlobChannelPipelined(t *testing.T) {
 		go func(w int) {
 			for i := 0; i < perWorker; i++ {
 				data := blob(w, i)
-				if err := ch.PutBlob(crypto.Hash(data), data); err != nil {
+				if err := ch.PutBlob(context.Background(), crypto.Hash(data), data); err != nil {
 					errs <- fmt.Errorf("put w%d i%d: %w", w, i, err)
 					return
 				}
@@ -212,7 +213,7 @@ func TestTCPBlobChannelPipelined(t *testing.T) {
 		go func(w int) {
 			for i := 0; i < perWorker; i++ {
 				data := blob(w, i)
-				got, err := ch.GetBlob(crypto.Hash(data))
+				got, err := ch.GetBlob(context.Background(), crypto.Hash(data))
 				if err != nil {
 					errs <- fmt.Errorf("get w%d i%d: %w", w, i, err)
 					return
@@ -221,7 +222,7 @@ func TestTCPBlobChannelPipelined(t *testing.T) {
 					errs <- fmt.Errorf("w%d i%d: response routed to the wrong request", w, i)
 					return
 				}
-				if _, err := ch.GetBlob(crypto.Hash(blob(w, i+1000))); !errors.Is(err, fs.ErrNotExist) {
+				if _, err := ch.GetBlob(context.Background(), crypto.Hash(blob(w, i+1000))); !errors.Is(err, fs.ErrNotExist) {
 					errs <- fmt.Errorf("w%d i%d miss = %v, want fs.ErrNotExist", w, i, err)
 					return
 				}
@@ -255,7 +256,7 @@ func TestTCPBlobChannelFailureReleasesInFlight(t *testing.T) {
 	}
 	defer ch.Close()
 	data := []byte("seed")
-	if err := ch.PutBlob(crypto.Hash(data), data); err != nil {
+	if err := ch.PutBlob(context.Background(), crypto.Hash(data), data); err != nil {
 		t.Fatal(err)
 	}
 
@@ -263,7 +264,7 @@ func TestTCPBlobChannelFailureReleasesInFlight(t *testing.T) {
 	done := make(chan error, inflight)
 	for i := 0; i < inflight; i++ {
 		go func() {
-			_, err := ch.GetBlob(crypto.Hash(data))
+			_, err := ch.GetBlob(context.Background(), crypto.Hash(data))
 			done <- err
 		}()
 	}
@@ -272,7 +273,7 @@ func TestTCPBlobChannelFailureReleasesInFlight(t *testing.T) {
 		<-done // nil (served before the close) or an error; hanging fails the test by timeout
 	}
 	// The channel is poisoned: every later request fails fast.
-	if err := ch.PutBlob(crypto.Hash(data), data); err == nil {
+	if err := ch.PutBlob(context.Background(), crypto.Hash(data), data); err == nil {
 		t.Fatal("put succeeded on a poisoned channel")
 	}
 }
@@ -295,11 +296,11 @@ func TestTCPBlobChannelStop(t *testing.T) {
 	}
 	defer ch.Close()
 	data := []byte("alive")
-	if err := ch.PutBlob(crypto.Hash(data), data); err != nil {
+	if err := ch.PutBlob(context.Background(), crypto.Hash(data), data); err != nil {
 		t.Fatal(err)
 	}
 	srv.Stop() // must not hang on the open blob connection
-	if err := ch.PutBlob(crypto.Hash(data), data); err == nil {
+	if err := ch.PutBlob(context.Background(), crypto.Hash(data), data); err == nil {
 		t.Fatal("put succeeded after server stop")
 	}
 }

@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/wire"
 )
 
@@ -140,6 +142,11 @@ func (nw *Network) delayPump(l *memoryLink) {
 		if d > 0 {
 			time.Sleep(d)
 		}
+		if !e.enq.IsZero() {
+			// The queue span measures inbox wait, not simulated network
+			// delay: restamp after the delay has elapsed.
+			e.enq = time.Now()
+		}
 		if !nw.inbox.push(e) {
 			return
 		}
@@ -157,9 +164,12 @@ func (nw *Network) dispatch() {
 		}
 		switch m := e.msg.(type) {
 		case *wire.Submit:
+			ctx, h := joinWireTrace(context.Background(), m.Inv.Trace, true, spanSrvSubmit)
+			trace.Event(ctx, spanQueue, e.enq)
 			start := obs.StartTimer()
-			reply := nw.core.HandleSubmit(e.from, m)
-			tmSubmitNs.ObserveSince(start)
+			reply := nw.core.HandleSubmit(ctx, e.from, m)
+			tmSubmitNs.ObserveSinceExemplar(start, exemplarID(m.Inv.Trace))
+			h.End()
 			if reply == nil {
 				continue // Byzantine silence: client stays blocked
 			}
@@ -172,7 +182,7 @@ func (nw *Network) dispatch() {
 			}
 		case *wire.Commit:
 			start := obs.StartTimer()
-			nw.core.HandleCommit(e.from, m)
+			nw.core.HandleCommit(context.Background(), e.from, m)
 			tmCommitNs.ObserveSince(start)
 		default:
 			if gc, ok := nw.core.(GenericCore); ok {
@@ -254,7 +264,7 @@ func (l *memoryLink) Send(m wire.Message) error {
 		atomic.AddInt64(&l.nw.stats.ClientToServerMsgs, 1)
 		atomic.AddInt64(&l.nw.stats.ClientToServerBytes, int64(wire.EncodedSize(m)))
 	}
-	e := envelope{from: l.id, msg: m}
+	e := envelope{from: l.id, msg: m, enq: traceStamp(m)}
 	if l.sendQ != nil {
 		if !l.sendQ.push(e) {
 			return ErrClosed

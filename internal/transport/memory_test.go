@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ type echoCore struct {
 	maxConc int
 }
 
-func (c *echoCore) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
+func (c *echoCore) HandleSubmit(_ context.Context, from int, s *wire.Submit) *wire.Reply {
 	c.mu.Lock()
 	c.inFlght++
 	if c.inFlght > c.maxConc {
@@ -30,7 +31,7 @@ func (c *echoCore) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 	return &wire.Reply{C: int(s.T), CVer: wire.ZeroSignedVersion(1), P: [][]byte{nil}}
 }
 
-func (c *echoCore) HandleCommit(from int, m *wire.Commit) {
+func (c *echoCore) HandleCommit(_ context.Context, from int, m *wire.Commit) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.commits = append(c.commits, from)
@@ -257,8 +258,8 @@ func TestStatsRoundsPerOpZeroOps(t *testing.T) {
 // silentCore never replies: the transport must not deadlock other clients.
 type silentCore struct{}
 
-func (silentCore) HandleSubmit(int, *wire.Submit) *wire.Reply { return nil }
-func (silentCore) HandleCommit(int, *wire.Commit)             {}
+func (silentCore) HandleSubmit(context.Context, int, *wire.Submit) *wire.Reply { return nil }
+func (silentCore) HandleCommit(context.Context, int, *wire.Commit)             {}
 
 func TestNilReplyMeansSilence(t *testing.T) {
 	nw := NewNetwork(1, silentCore{})

@@ -1,10 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"faust/internal/obs/trace"
 )
 
 // A tcpBlobChannel is poisoned permanently by its first connection
@@ -117,7 +120,10 @@ func retryable(err error) bool {
 }
 
 // do runs op against the current channel, redialing on connection death.
-func (r *RedialBlobChannel) do(op func(ch BlobChannel) error) error {
+// Each redial cycle (discard + backoff + fresh dial on the next
+// current()) is recorded as a blob.redial span of ctx's trace, so a
+// trace that survived a connection drop shows where the time went.
+func (r *RedialBlobChannel) do(ctx context.Context, op func(ch BlobChannel) error) error {
 	backoff := r.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.Attempts; attempt++ {
@@ -137,7 +143,9 @@ func (r *RedialBlobChannel) do(op func(ch BlobChannel) error) error {
 		}
 		tmBlobRedials.Inc()
 		if attempt < r.opts.Attempts {
+			redialStart := time.Now()
 			r.opts.Sleep(backoff)
+			trace.Event(ctx, spanRedial, redialStart)
 			if backoff *= 2; backoff > r.opts.BackoffCap {
 				backoff = r.opts.BackoffCap
 			}
@@ -147,16 +155,16 @@ func (r *RedialBlobChannel) do(op func(ch BlobChannel) error) error {
 }
 
 // PutBlob implements BlobChannel.
-func (r *RedialBlobChannel) PutBlob(hash, data []byte) error {
-	return r.do(func(ch BlobChannel) error { return ch.PutBlob(hash, data) })
+func (r *RedialBlobChannel) PutBlob(ctx context.Context, hash, data []byte) error {
+	return r.do(ctx, func(ch BlobChannel) error { return ch.PutBlob(ctx, hash, data) })
 }
 
 // GetBlob implements BlobChannel.
-func (r *RedialBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+func (r *RedialBlobChannel) GetBlob(ctx context.Context, hash []byte) ([]byte, error) {
 	var out []byte
-	err := r.do(func(ch BlobChannel) error {
+	err := r.do(ctx, func(ch BlobChannel) error {
 		var err error
-		out, err = ch.GetBlob(hash)
+		out, err = ch.GetBlob(ctx, hash)
 		return err
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -36,14 +37,14 @@ func (c *flakyBlobChannel) gate() error {
 	return nil
 }
 
-func (c *flakyBlobChannel) PutBlob(hash, data []byte) error {
+func (c *flakyBlobChannel) PutBlob(_ context.Context, hash, data []byte) error {
 	if err := c.gate(); err != nil {
 		return err
 	}
 	return c.store.PutBlob(hash, data)
 }
 
-func (c *flakyBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+func (c *flakyBlobChannel) GetBlob(_ context.Context, hash []byte) ([]byte, error) {
 	if err := c.gate(); err != nil {
 		return nil, err
 	}
@@ -68,13 +69,13 @@ func TestRedialSurvivesConnectionDrops(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		data := []byte(fmt.Sprintf("blob %d", i))
 		hash := crypto.Hash(data)
-		if err := r.PutBlob(hash, data); err != nil {
+		if err := r.PutBlob(context.Background(), hash, data); err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
 		hashes = append(hashes, hash)
 	}
 	for i, hash := range hashes {
-		got, err := r.GetBlob(hash)
+		got, err := r.GetBlob(context.Background(), hash)
 		if err != nil {
 			t.Fatalf("get %d: %v", i, err)
 		}
@@ -96,7 +97,7 @@ func TestRedialBoundedAttempts(t *testing.T) {
 	}, RedialOptions{Attempts: 2, Sleep: func(time.Duration) {}})
 	defer r.Close()
 
-	err := r.PutBlob(crypto.Hash([]byte("x")), []byte("x"))
+	err := r.PutBlob(context.Background(), crypto.Hash([]byte("x")), []byte("x"))
 	if err == nil {
 		t.Fatal("put on a permanently dead channel succeeded")
 	}
@@ -117,7 +118,7 @@ func TestRedialPassesServerAnswersThrough(t *testing.T) {
 	defer r.Close()
 
 	// A missing blob is a server-side answer: no redial may happen.
-	if _, err := r.GetBlob(crypto.Hash([]byte("absent"))); !errors.Is(err, fs.ErrNotExist) {
+	if _, err := r.GetBlob(context.Background(), crypto.Hash([]byte("absent"))); !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("missing blob: %v, want fs.ErrNotExist", err)
 	}
 	if dials != 1 {
@@ -138,7 +139,7 @@ func TestRedialFailedDialRetries(t *testing.T) {
 	defer r.Close()
 
 	data := []byte("eventually")
-	if err := r.PutBlob(crypto.Hash(data), data); err != nil {
+	if err := r.PutBlob(context.Background(), crypto.Hash(data), data); err != nil {
 		t.Fatalf("put after two refused dials: %v", err)
 	}
 }
@@ -150,7 +151,7 @@ func TestRedialClosed(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.PutBlob(crypto.Hash([]byte("x")), []byte("x")); !errors.Is(err, ErrClosed) {
+	if err := r.PutBlob(context.Background(), crypto.Hash([]byte("x")), []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("put after close: %v, want ErrClosed", err)
 	}
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/wire"
 )
 
@@ -188,11 +190,14 @@ func (c *serverConn) writeMsg(m wire.Message) error {
 	return writeFramedMsg(c.conn, &c.wmu, m)
 }
 
-// tcpEnvelope tags an arriving message with its sender and shard.
+// tcpEnvelope tags an arriving message with its sender and shard. enq
+// is the inbox-entry stamp for the dispatcher queue-wait span, zero
+// when the message is untraced (see traceStamp).
 type tcpEnvelope struct {
 	rt   *shardRT
 	from int
 	msg  wire.Message
+	enq  time.Time
 }
 
 // The per-shard inboxes are fifo[tcpEnvelope] spelled out rather than
@@ -567,7 +572,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !rt.inbox.push(tcpEnvelope{rt: rt, from: id, msg: msg}) {
+		if !rt.inbox.push(tcpEnvelope{rt: rt, from: id, msg: msg, enq: traceStamp(msg)}) {
 			return
 		}
 	}
@@ -695,15 +700,18 @@ func (s *TCPServer) dispatchQueue(q *fifo[tcpEnvelope]) {
 		e.rt.ops.Inc()
 		switch m := e.msg.(type) {
 		case *wire.Submit:
+			ctx, h := joinWireTrace(context.Background(), m.Inv.Trace, true, spanSrvSubmit)
+			trace.Event(ctx, spanQueue, e.enq)
 			start := obs.StartTimer()
-			reply := e.rt.core.HandleSubmit(e.from, m)
-			tmSubmitNs.ObserveSince(start)
+			reply := e.rt.core.HandleSubmit(ctx, e.from, m)
+			tmSubmitNs.ObserveSinceExemplar(start, exemplarID(m.Inv.Trace))
+			h.End()
 			if reply != nil {
 				_ = e.rt.push(e.from, reply)
 			}
 		case *wire.Commit:
 			start := obs.StartTimer()
-			e.rt.core.HandleCommit(e.from, m)
+			e.rt.core.HandleCommit(context.Background(), e.from, m)
 			tmCommitNs.ObserveSince(start)
 		default:
 			if gc, ok := e.rt.core.(GenericCore); ok {
@@ -938,13 +946,18 @@ func (c *tcpBlobChannel) roundTrip(build func(id uint32) wire.Message) (wire.Mes
 	return m, nil
 }
 
-// PutBlob implements BlobChannel.
-func (c *tcpBlobChannel) PutBlob(hash, data []byte) error {
+// PutBlob implements BlobChannel. The request carries ctx's trace
+// context so the server's store spans join the operation's trace; the
+// round trip itself is recorded as a blob.rpc span.
+func (c *tcpBlobChannel) PutBlob(ctx context.Context, hash, data []byte) error {
 	if err := checkBlobSizes(hash, data); err != nil {
 		return err
 	}
+	ctx, h := trace.Child(ctx, spanBlobRPC)
+	defer h.End()
+	tc := WireTrace(ctx)
 	m, err := c.roundTrip(func(id uint32) wire.Message {
-		return &wire.BlobPut{ID: id, Hash: hash, Data: data}
+		return &wire.BlobPut{ID: id, Hash: hash, Data: data, Trace: tc}
 	})
 	if err != nil {
 		return err
@@ -960,9 +973,12 @@ func (c *tcpBlobChannel) PutBlob(hash, data []byte) error {
 }
 
 // GetBlob implements BlobChannel.
-func (c *tcpBlobChannel) GetBlob(hash []byte) ([]byte, error) {
+func (c *tcpBlobChannel) GetBlob(ctx context.Context, hash []byte) ([]byte, error) {
+	ctx, h := trace.Child(ctx, spanBlobRPC)
+	defer h.End()
+	tc := WireTrace(ctx)
 	m, err := c.roundTrip(func(id uint32) wire.Message {
-		return &wire.BlobGet{ID: id, Hash: hash}
+		return &wire.BlobGet{ID: id, Hash: hash, Trace: tc}
 	})
 	if err != nil {
 		return nil, err

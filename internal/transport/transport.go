@@ -11,8 +11,10 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"faust/internal/wire"
 )
@@ -40,9 +42,15 @@ type Link interface {
 // A nil reply means the server sends nothing (only Byzantine servers do
 // that; a correct server always replies, which is what makes the protocol
 // wait-free).
+//
+// The context carries the operation's tracing context (when the SUBMIT
+// arrived with one) so wrapping cores — the durable store, the USTOR
+// state machine — can attach their stages to the request's trace. Cores
+// must not use it for cancellation: the protocol's atomic handlers run
+// to completion.
 type ServerCore interface {
-	HandleSubmit(from int, s *wire.Submit) *wire.Reply
-	HandleCommit(from int, c *wire.Commit)
+	HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply
+	HandleCommit(ctx context.Context, from int, c *wire.Commit)
 }
 
 // GenericCore is an optional extension of ServerCore for protocols whose
@@ -108,10 +116,13 @@ func (q *queue) close() {
 	q.cond.Broadcast()
 }
 
-// envelope tags a message with its sender for the server inbox.
+// envelope tags a message with its sender for the server inbox. enq is
+// the enqueue stamp for the dispatcher queue-wait span; it is zero when
+// tracing is off so the disabled path never reads the clock.
 type envelope struct {
 	from int
 	msg  wire.Message
+	enq  time.Time
 }
 
 // fifo is an unbounded FIFO with blocking pop, shared by the in-memory

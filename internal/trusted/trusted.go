@@ -9,6 +9,7 @@
 package trusted
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -31,7 +32,7 @@ func NewServer(n int) *Server {
 }
 
 // HandleSubmit stores writes and serves reads immediately.
-func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
+func (s *Server) HandleSubmit(_ context.Context, from int, m *wire.Submit) *wire.Reply {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if from < 0 || from >= s.n {
@@ -58,7 +59,7 @@ func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
 }
 
 // HandleCommit is unused; the trusted protocol has no commits.
-func (s *Server) HandleCommit(int, *wire.Commit) {}
+func (s *Server) HandleCommit(context.Context, int, *wire.Commit) {}
 
 // Client is the trusted protocol client.
 type Client struct {

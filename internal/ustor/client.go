@@ -2,6 +2,7 @@ package ustor
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -9,9 +10,20 @@ import (
 
 	"faust/internal/crypto"
 	"faust/internal/obs"
+	"faust/internal/obs/trace"
 	"faust/internal/transport"
 	"faust/internal/version"
 	"faust/internal/wire"
+)
+
+// Span names of the client-side operation stages. Static constants: the
+// record path never formats (hotpathalloc).
+const (
+	spanWrite  = "write"
+	spanRead   = "read"
+	spanSign   = "sign"
+	spanRPC    = "rpc"
+	spanVerify = "verify"
 )
 
 // ErrHalted is returned by every operation after the client has detected
@@ -217,7 +229,7 @@ func (c *Client) Rebind(link transport.Link) {
 
 // Write implements write_i(X_i, x) (Algorithm 1 lines 8-10).
 func (c *Client) Write(x []byte) error {
-	_, err := c.WriteX(x)
+	_, err := c.WriteX(context.Background(), x)
 	return err
 }
 
@@ -236,7 +248,7 @@ func (c *Client) Write(x []byte) error {
 // rely on this bootstrap contract — package kv treats a nil register as
 // the empty key directory.
 func (c *Client) Read(j int) ([]byte, error) {
-	res, err := c.ReadX(j)
+	res, err := c.ReadX(context.Background(), j)
 	if err != nil {
 		return nil, err
 	}
@@ -244,16 +256,23 @@ func (c *Client) Read(j int) ([]byte, error) {
 }
 
 // WriteX is the extended write (Algorithm 1 lines 11-20): identical to
-// Write but additionally returns the committed version.
-func (c *Client) WriteX(x []byte) (OpResult, error) {
+// Write but additionally returns the committed version. ctx carries the
+// operation's trace context: when absent (and tracing is on) the write
+// becomes a new trace root, and the context travels inside the SUBMIT —
+// covered by the SUBMIT-signature — so server-side spans join it.
+func (c *Client) WriteX(ctx context.Context, x []byte) (OpResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.failed {
 		return OpResult{}, ErrHalted
 	}
+	ctx, op := trace.Start(ctx, spanWrite)
+	defer op.End()
+	tc := transport.WireTrace(ctx)
 	start := obs.StartTimer()
-	defer cmWriteNs.ObserveSince(start)
+	defer func() { cmWriteNs.ObserveSinceExemplar(start, traceExemplar(tc)) }()
 
+	_, hs := trace.Child(ctx, spanSign)
 	t := c.ver.V[c.id] + 1
 	if x == nil {
 		c.xbar = nil
@@ -261,28 +280,35 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 		c.hash = crypto.HashInto(c.hash[:0], x)
 		c.xbar = c.hash
 	}
-	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpWrite, c.id, t)
+	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpWrite, c.id, t, tc)
 	sigma := c.signer.Sign(crypto.DomainSubmit, c.payload)
 	c.payload = wire.AppendDataPayload(c.payload[:0], t, c.xbar)
 	delta := c.signer.Sign(crypto.DomainData, c.payload)
+	hs.End()
 
 	submit := &wire.Submit{
 		T:         t,
-		Inv:       wire.Invocation{Client: c.id, Op: wire.OpWrite, Reg: c.id, SubmitSig: sigma},
+		Inv:       wire.Invocation{Client: c.id, Op: wire.OpWrite, Reg: c.id, SubmitSig: sigma, Trace: tc},
 		Value:     x,
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
+	_, hrpc := trace.Child(ctx, spanRPC)
 	//faustlint:ignore lockheldio c.mu is the USTOR session lock; Algorithm 1 serializes a client's own SUBMIT..COMMIT round, and wait-freedom is across clients, not within one
 	if err := c.getLink().Send(submit); err != nil {
+		hrpc.End()
 		return OpResult{}, fmt.Errorf("ustor: submitting write: %w", err)
 	}
 
 	reply, err := c.recvReply(false)
+	hrpc.End()
 	if err != nil {
 		return OpResult{}, err
 	}
-	if err := c.updateVersion(reply); err != nil {
+	_, hv := trace.Child(ctx, spanVerify)
+	err = c.updateVersion(reply)
+	hv.End()
+	if err != nil {
 		return OpResult{}, err
 	}
 	sv, err := c.commit()
@@ -300,7 +326,7 @@ func (c *Client) WriteX(x []byte) (OpResult, error) {
 // Value == nil, err == nil, and a WriterVersion whose Ver.IsZero() —
 // never an error. See Read for the nil / empty / never-written
 // distinctions.
-func (c *Client) ReadX(j int) (ReadResult, error) {
+func (c *Client) ReadX(ctx context.Context, j int) (ReadResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.failed {
@@ -309,34 +335,45 @@ func (c *Client) ReadX(j int) (ReadResult, error) {
 	if j < 0 || j >= c.n {
 		return ReadResult{}, fmt.Errorf("ustor: register %d out of range [0,%d)", j, c.n)
 	}
+	ctx, op := trace.Start(ctx, spanRead)
+	defer op.End()
+	tc := transport.WireTrace(ctx)
 	start := obs.StartTimer()
-	defer cmReadNs.ObserveSince(start)
+	defer func() { cmReadNs.ObserveSinceExemplar(start, traceExemplar(tc)) }()
 
+	_, hs := trace.Child(ctx, spanSign)
 	t := c.ver.V[c.id] + 1
-	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpRead, j, t)
+	c.payload = wire.AppendSubmitPayload(c.payload[:0], wire.OpRead, j, t, tc)
 	sigma := c.signer.Sign(crypto.DomainSubmit, c.payload)
 	c.payload = wire.AppendDataPayload(c.payload[:0], t, c.xbar)
 	delta := c.signer.Sign(crypto.DomainData, c.payload)
+	hs.End()
 
 	submit := &wire.Submit{
 		T:         t,
-		Inv:       wire.Invocation{Client: c.id, Op: wire.OpRead, Reg: j, SubmitSig: sigma},
+		Inv:       wire.Invocation{Client: c.id, Op: wire.OpRead, Reg: j, SubmitSig: sigma, Trace: tc},
 		DataSig:   delta,
 		Piggyback: c.takePending(),
 	}
+	_, hrpc := trace.Child(ctx, spanRPC)
 	//faustlint:ignore lockheldio c.mu is the USTOR session lock; Algorithm 1 serializes a client's own SUBMIT..COMMIT round, and wait-freedom is across clients, not within one
 	if err := c.getLink().Send(submit); err != nil {
+		hrpc.End()
 		return ReadResult{}, fmt.Errorf("ustor: submitting read: %w", err)
 	}
 
 	reply, err := c.recvReply(true)
+	hrpc.End()
 	if err != nil {
 		return ReadResult{}, err
 	}
-	if err := c.updateVersion(reply); err != nil {
-		return ReadResult{}, err
+	_, hv := trace.Child(ctx, spanVerify)
+	err = c.updateVersion(reply)
+	if err == nil {
+		err = c.checkData(reply, j)
 	}
-	if err := c.checkData(reply, j); err != nil {
+	hv.End()
+	if err != nil {
 		return ReadResult{}, err
 	}
 	sv, err := c.commit()
@@ -444,7 +481,10 @@ func (c *Client) updateVersion(r *wire.Reply) error {
 		if k == c.id {
 			return c.fail("own operation listed as concurrent (line 43)")
 		}
-		c.payload = wire.AppendSubmitPayload(c.payload[:0], inv.Op, inv.Reg, c.ver.V[k])
+		// inv.Trace is whatever the submitter put under its signature;
+		// recomputing the payload from the echoed tuple keeps the check
+		// sound whether or not the operation was traced.
+		c.payload = wire.AppendSubmitPayload(c.payload[:0], inv.Op, inv.Reg, c.ver.V[k], inv.Trace)
 		if !c.ring.Verify(k, inv.SubmitSig, crypto.DomainSubmit, c.payload) {
 			return c.fail("SUBMIT-signature for concurrent operation invalid (line 43)")
 		}
@@ -540,6 +580,15 @@ func (c *Client) commit() (wire.SignedVersion, error) {
 		return wire.SignedVersion{}, fmt.Errorf("ustor: sending commit: %w", err)
 	}
 	return wire.SignedVersion{Committer: c.id, Ver: sv, Sig: phi}, nil
+}
+
+// traceExemplar converts a wire trace context to the histogram-exemplar
+// trace ID, zero when the operation is untraced.
+func traceExemplar(tc *wire.TraceCtx) trace.TraceID {
+	if tc == nil {
+		return trace.TraceID{}
+	}
+	return trace.TraceID(tc.ID)
 }
 
 // takePending returns and clears the deferred COMMIT. Caller holds c.mu.

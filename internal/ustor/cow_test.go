@@ -2,6 +2,7 @@ package ustor
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -24,8 +25,8 @@ type recordingCore struct {
 	encs    [][]byte
 }
 
-func (r *recordingCore) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
-	reply := r.Server.HandleSubmit(from, s)
+func (r *recordingCore) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	reply := r.Server.HandleSubmit(ctx, from, s)
 	if reply != nil {
 		r.mu.Lock()
 		r.replies = append(r.replies, reply)
@@ -116,7 +117,7 @@ func TestReplyUnaffectedByDirectHandlerMutations(t *testing.T) {
 	const n = 3
 	server := NewServer(n)
 	submit := func(from int, t64 int64) *wire.Reply {
-		return server.HandleSubmit(from, &wire.Submit{
+		return server.HandleSubmit(context.Background(), from, &wire.Submit{
 			T: t64,
 			Inv: wire.Invocation{
 				Client: from, Op: wire.OpWrite, Reg: from,
@@ -143,7 +144,7 @@ func TestReplyUnaffectedByDirectHandlerMutations(t *testing.T) {
 	ver := version.New(n)
 	ver.V[1] = 1
 	ver.M[1] = bytes.Repeat([]byte{0xAB}, crypto.HashSize)
-	server.HandleCommit(1, &wire.Commit{Ver: ver, CommitSig: []byte("phi"), ProofSig: []byte("psi")})
+	server.HandleCommit(context.Background(), 1, &wire.Commit{Ver: ver, CommitSig: []byte("phi"), ProofSig: []byte("psi")})
 	// Mutation 3: more traffic on the truncated L.
 	submit(1, 2)
 	submit(2, 2)
@@ -202,7 +203,7 @@ func TestConcurrentDirectHandlersRaceStress(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for k := 1; k <= opsPer; k++ {
-				reply := server.HandleSubmit(g, &wire.Submit{
+				reply := server.HandleSubmit(context.Background(), g, &wire.Submit{
 					T: int64(k),
 					Inv: wire.Invocation{
 						Client: g, Op: wire.OpWrite, Reg: g,
@@ -227,7 +228,7 @@ func TestConcurrentDirectHandlersRaceStress(t *testing.T) {
 				_ = sum
 				ver := version.New(n)
 				ver.V[g] = int64(k)
-				server.HandleCommit(g, &wire.Commit{Ver: ver, CommitSig: []byte{byte(g)}, ProofSig: []byte{byte(k)}})
+				server.HandleCommit(context.Background(), g, &wire.Commit{Ver: ver, CommitSig: []byte{byte(g)}, ProofSig: []byte{byte(k)}})
 			}
 		}(g)
 	}

@@ -1,6 +1,7 @@
 package ustor
 
 import (
+	"context"
 	"testing"
 
 	"faust/internal/crypto"
@@ -21,7 +22,7 @@ func TestEmptyRegisterReadSemantics(t *testing.T) {
 	c1 := NewClient(1, ring, signers[1], nw.ClientLink(1))
 
 	// Never written: nil value, nil error, zero writer version.
-	res, err := c1.ReadX(0)
+	res, err := c1.ReadX(context.Background(), 0)
 	if err != nil {
 		t.Fatalf("reading a never-written register must not error: %v", err)
 	}
@@ -34,7 +35,7 @@ func TestEmptyRegisterReadSemantics(t *testing.T) {
 
 	// Reading one's own never-written register works the same way (the
 	// kv bootstrap path).
-	own, err := c0.ReadX(0)
+	own, err := c0.ReadX(context.Background(), 0)
 	if err != nil || own.Value != nil {
 		t.Fatalf("own empty read = %q, %v; want nil, nil", own.Value, err)
 	}
@@ -44,7 +45,7 @@ func TestEmptyRegisterReadSemantics(t *testing.T) {
 	if err := c0.Write(nil); err != nil {
 		t.Fatal(err)
 	}
-	res, err = c1.ReadX(0)
+	res, err = c1.ReadX(context.Background(), 0)
 	if err != nil || res.Value != nil {
 		t.Fatalf("after Write(nil): read %q, %v; want nil, nil", res.Value, err)
 	}

@@ -1,6 +1,7 @@
 package ustor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -105,7 +106,7 @@ func TestPiggybackConcurrentClientsStayConsistent(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < ops; i++ {
-				res, err := clients[c].WriteX([]byte(fmt.Sprintf("c%d-%d", c, i)))
+				res, err := clients[c].WriteX(context.Background(), []byte(fmt.Sprintf("c%d-%d", c, i)))
 				if err != nil {
 					t.Errorf("client %d: %v", c, err)
 					return

@@ -1,6 +1,7 @@
 package ustor
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -54,10 +55,10 @@ func TestPropertyVersionChainInvariants(t *testing.T) {
 						var res OpResult
 						var err error
 						if rng.Intn(2) == 0 {
-							res, err = clients[c].WriteX([]byte(fmt.Sprintf("s%d-c%d-%d", seed, c, i)))
+							res, err = clients[c].WriteX(context.Background(), []byte(fmt.Sprintf("s%d-c%d-%d", seed, c, i)))
 						} else {
 							var rr ReadResult
-							rr, err = clients[c].ReadX(rng.Intn(n))
+							rr, err = clients[c].ReadX(context.Background(), rng.Intn(n))
 							res = rr.OpResult
 						}
 						if err != nil {
@@ -187,16 +188,16 @@ func TestPropertyReaderSeesFreshEnoughValue(t *testing.T) {
 // TestServerRejectsOutOfRangeTraffic covers the server's defensive paths.
 func TestServerRejectsOutOfRangeTraffic(t *testing.T) {
 	s := NewServer(2)
-	if r := s.HandleSubmit(-1, &wire.Submit{}); r != nil {
+	if r := s.HandleSubmit(context.Background(), -1, &wire.Submit{}); r != nil {
 		t.Fatal("negative client id accepted")
 	}
-	if r := s.HandleSubmit(5, &wire.Submit{}); r != nil {
+	if r := s.HandleSubmit(context.Background(), 5, &wire.Submit{}); r != nil {
 		t.Fatal("out-of-range client id accepted")
 	}
-	if r := s.HandleSubmit(0, &wire.Submit{Inv: wire.Invocation{Op: wire.OpRead, Reg: 9}}); r != nil {
+	if r := s.HandleSubmit(context.Background(), 0, &wire.Submit{Inv: wire.Invocation{Op: wire.OpRead, Reg: 9}}); r != nil {
 		t.Fatal("out-of-range register read accepted")
 	}
 	// Out-of-range commits must be ignored, not panic.
-	s.HandleCommit(-1, &wire.Commit{Ver: version.New(2)})
-	s.HandleCommit(7, &wire.Commit{Ver: version.New(2)})
+	s.HandleCommit(context.Background(), -1, &wire.Commit{Ver: version.New(2)})
+	s.HandleCommit(context.Background(), 7, &wire.Commit{Ver: version.New(2)})
 }

@@ -13,9 +13,11 @@
 package ustor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"faust/internal/obs/trace"
 	"faust/internal/version"
 	"faust/internal/wire"
 )
@@ -64,8 +66,8 @@ type Server struct {
 // compile-time interface check lives in transport tests; avoid the import
 // cycle here by asserting locally against the method set.
 var _ interface {
-	HandleSubmit(from int, s *wire.Submit) *wire.Reply
-	HandleCommit(from int, c *wire.Commit)
+	HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply
+	HandleCommit(ctx context.Context, from int, c *wire.Commit)
 } = (*Server)(nil)
 
 // NewServer creates a correct server for n clients. Initially every
@@ -96,9 +98,11 @@ func (s *Server) N() int { return s.n }
 // O(1) allocation regardless of n. A piggybacked COMMIT (Section 5
 // optimization) is processed first, exactly as if it had arrived as its
 // own message.
-func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
+func (s *Server) HandleSubmit(ctx context.Context, from int, m *wire.Submit) *wire.Reply {
+	_, span := trace.Child(ctx, "apply")
+	defer span.End()
 	if m.Piggyback != nil {
-		s.HandleCommit(from, m.Piggyback)
+		s.HandleCommit(ctx, from, m.Piggyback)
 	}
 	if from < 0 || from >= s.n {
 		return nil
@@ -139,6 +143,9 @@ func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
 		CVer:   cver,
 		L:      l,
 		P:      p,
+		// Advisory echo of the request's trace context (the submit
+		// signature covers Inv.Trace; this copy just labels the REPLY).
+		Trace: m.Inv.Trace,
 	}
 	if isRead {
 		reply.JVer = jver
@@ -153,7 +160,7 @@ func (s *Server) HandleSubmit(from int, m *wire.Submit) *wire.Reply {
 // HandleCommit implements Algorithm 2 lines 117-123. When the committed
 // version exceeds the current maximum, the committer becomes the new
 // schedule head and its tuple — plus all earlier tuples — leave L.
-func (s *Server) HandleCommit(from int, m *wire.Commit) {
+func (s *Server) HandleCommit(_ context.Context, from int, m *wire.Commit) {
 	if from < 0 || from >= s.n {
 		return
 	}

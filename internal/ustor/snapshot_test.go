@@ -2,6 +2,7 @@ package ustor
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -103,7 +104,7 @@ func TestRestoreStateRejectsGarbage(t *testing.T) {
 	if err := srv.RestoreState(blob); err != nil {
 		t.Fatalf("self-restore: %v", err)
 	}
-	if r := srv.HandleSubmit(0, &wire.Submit{
+	if r := srv.HandleSubmit(context.Background(), 0, &wire.Submit{
 		T:   1,
 		Inv: wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0},
 	}); r == nil {

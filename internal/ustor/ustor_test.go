@@ -2,6 +2,7 @@ package ustor
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,7 +112,7 @@ func TestTimestampsMonotonic(t *testing.T) {
 	tc := newCluster(t, 2)
 	var last int64
 	for i := 0; i < 4; i++ {
-		res, err := tc.clients[0].WriteX([]byte{byte(i)})
+		res, err := tc.clients[0].WriteX(context.Background(), []byte{byte(i)})
 		if err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
@@ -119,7 +120,7 @@ func TestTimestampsMonotonic(t *testing.T) {
 			t.Fatalf("timestamp %d not increasing after %d", res.Timestamp, last)
 		}
 		last = res.Timestamp
-		rr, err := tc.clients[0].ReadX(1)
+		rr, err := tc.clients[0].ReadX(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
@@ -140,7 +141,7 @@ func TestVersionsTotallyOrderedWithCorrectServer(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				res, err := tc.clients[c].WriteX([]byte{byte(c), byte(i)})
+				res, err := tc.clients[c].WriteX(context.Background(), []byte{byte(c), byte(i)})
 				if err != nil {
 					t.Errorf("client %d write %d: %v", c, i, err)
 					return
@@ -207,7 +208,7 @@ func TestWaitFreeDespiteCrashedClient(t *testing.T) {
 	// Client 0 crashes mid-operation: SUBMIT sent, REPLY consumed, COMMIT
 	// never sent.
 	link0 := nw.ClientLink(0)
-	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1))
+	sigma := signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 1, nil))
 	delta := signers[0].Sign(crypto.DomainData, wire.DataPayload(1, crypto.Hash([]byte("w"))))
 	if err := link0.Send(&wire.Submit{
 		T:       1,
@@ -305,8 +306,8 @@ type tamperCore struct {
 	tamper func(from int, r *wire.Reply) *wire.Reply
 }
 
-func (tc *tamperCore) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
-	r := tc.inner.HandleSubmit(from, s)
+func (tc *tamperCore) HandleSubmit(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	r := tc.inner.HandleSubmit(ctx, from, s)
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if tc.tamper != nil && r != nil {
@@ -315,7 +316,9 @@ func (tc *tamperCore) HandleSubmit(from int, s *wire.Submit) *wire.Reply {
 	return r
 }
 
-func (tc *tamperCore) HandleCommit(from int, c *wire.Commit) { tc.inner.HandleCommit(from, c) }
+func (tc *tamperCore) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
+	tc.inner.HandleCommit(ctx, from, c)
+}
 
 // tamperCluster builds a 2-client cluster whose server applies the given
 // tampering function.
@@ -514,7 +517,7 @@ func TestDetectsMissingProofSignature(t *testing.T) {
 	}
 	// Prepare a genuine signature of client 0 for its next timestamp.
 	mu.Lock()
-	sigma0 = signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 2))
+	sigma0 = signers[0].Sign(crypto.DomainSubmit, wire.SubmitPayload(wire.OpWrite, 0, 2, nil))
 	inject = true
 	mu.Unlock()
 	err := c1.Write([]byte("x"))

@@ -38,34 +38,44 @@ const (
 
 // BlobPut uploads Data under its content hash. The server stores the
 // bytes verbatim; it verifies nothing (it is the untrusted party).
+// Trace optionally carries the requesting operation's tracing context
+// so the server-side store work (blobfleet failover, retries) joins the
+// client's trace; like everything on this channel it is unauthenticated
+// advisory metadata.
 type BlobPut struct {
-	ID   uint32
-	Hash []byte
-	Data []byte
+	ID    uint32
+	Hash  []byte
+	Data  []byte
+	Trace *TraceCtx
 }
 
 // BlobAck acknowledges a BlobPut, echoing its request ID. OK is false
-// when the store failed, with the reason in Msg.
+// when the store failed, with the reason in Msg. Trace echoes the
+// request's trace context.
 type BlobAck struct {
-	ID   uint32
-	Hash []byte
-	OK   bool
-	Msg  string
+	ID    uint32
+	Hash  []byte
+	OK    bool
+	Msg   string
+	Trace *TraceCtx
 }
 
-// BlobGet requests the blob stored under Hash.
+// BlobGet requests the blob stored under Hash. Trace as on BlobPut.
 type BlobGet struct {
-	ID   uint32
-	Hash []byte
+	ID    uint32
+	Hash  []byte
+	Trace *TraceCtx
 }
 
 // BlobData answers a BlobGet, echoing its request ID. Found is false
-// (and Data nil) when no blob is stored under the hash.
+// (and Data nil) when no blob is stored under the hash. Trace echoes
+// the request's trace context.
 type BlobData struct {
 	ID    uint32
 	Hash  []byte
 	Found bool
 	Data  []byte
+	Trace *TraceCtx
 }
 
 // MsgKind implementations.
@@ -85,26 +95,30 @@ var (
 func (b *BlobPut) encodeBody(buf []byte) []byte {
 	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
-	return appendBytes(buf, b.Data)
+	buf = appendBytes(buf, b.Data)
+	return appendTraceCtx(buf, b.Trace)
 }
 
 func (b *BlobAck) encodeBody(buf []byte) []byte {
 	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	buf = appendBool(buf, b.OK)
-	return appendString(buf, b.Msg)
+	buf = appendString(buf, b.Msg)
+	return appendTraceCtx(buf, b.Trace)
 }
 
 func (b *BlobGet) encodeBody(buf []byte) []byte {
 	buf = appendU32(buf, b.ID)
-	return appendBytes(buf, b.Hash)
+	buf = appendBytes(buf, b.Hash)
+	return appendTraceCtx(buf, b.Trace)
 }
 
 func (b *BlobData) encodeBody(buf []byte) []byte {
 	buf = appendU32(buf, b.ID)
 	buf = appendBytes(buf, b.Hash)
 	buf = appendBool(buf, b.Found)
-	return appendBytes(buf, b.Data)
+	buf = appendBytes(buf, b.Data)
+	return appendTraceCtx(buf, b.Trace)
 }
 
 // decodeBlob parses the body of a blob-channel message. It returns nil
@@ -116,6 +130,7 @@ func decodeBlob(kind Kind, r *reader) Message {
 		b.ID = r.u32()
 		b.Hash = r.bytes()
 		b.Data = r.bytes()
+		b.Trace = r.traceCtx()
 		return b
 	case KindBlobAck:
 		b := &BlobAck{}
@@ -123,11 +138,13 @@ func decodeBlob(kind Kind, r *reader) Message {
 		b.Hash = r.bytes()
 		b.OK = r.bool()
 		b.Msg = r.str()
+		b.Trace = r.traceCtx()
 		return b
 	case KindBlobGet:
 		b := &BlobGet{}
 		b.ID = r.u32()
 		b.Hash = r.bytes()
+		b.Trace = r.traceCtx()
 		return b
 	case KindBlobData:
 		b := &BlobData{}
@@ -135,6 +152,7 @@ func decodeBlob(kind Kind, r *reader) Message {
 		b.Hash = r.bytes()
 		b.Found = r.bool()
 		b.Data = r.bytes()
+		b.Trace = r.traceCtx()
 		return b
 	default:
 		return nil

@@ -19,11 +19,17 @@ func seedMessages() []wire.Message {
 	sv := wire.SignedVersion{Committer: 1, Ver: ver, Sig: []byte("sig")}
 	inv := wire.Invocation{Client: 0, Op: wire.OpWrite, Reg: 0, SubmitSig: []byte("sigma")}
 	commit := &wire.Commit{Ver: ver, CommitSig: []byte("phi"), ProofSig: []byte("psi")}
+	tc := &wire.TraceCtx{Span: 0x1122334455667788, Flags: wire.TraceFlagKeep}
+	copy(tc.ID[:], "trace-id-16-byte")
+	tinv := inv
+	tinv.Trace = tc
 
 	return []wire.Message{
 		&wire.Submit{T: 7, Inv: inv, Value: []byte("value"), DataSig: []byte("delta")},
 		&wire.Submit{T: 8, Inv: inv, Value: nil, DataSig: []byte("delta"), Piggyback: commit},
+		&wire.Submit{T: 9, Inv: tinv, Value: []byte("traced"), DataSig: []byte("delta")},
 		&wire.Reply{IsRead: false, C: 2, CVer: sv, L: []wire.Invocation{inv}, P: [][]byte{[]byte("p")}},
+		&wire.Reply{IsRead: false, C: 2, CVer: sv, L: []wire.Invocation{tinv}, Trace: tc},
 		&wire.Reply{IsRead: true, C: 2, CVer: sv, JVer: sv,
 			Mem: wire.MemEntry{T: 4, Value: []byte("v"), DataSig: []byte("d")}},
 		commit,
@@ -39,11 +45,13 @@ func seedMessages() []wire.Message {
 		&wire.LSCommit{Record: wire.LSRecord{Seq: 2, Client: 1, Op: wire.OpRead, Reg: 0,
 			ChainHash: []byte("ch2"), Sig: []byte("s2")}},
 		&wire.BlobPut{ID: 1, Hash: []byte("h"), Data: []byte("blob")},
+		&wire.BlobPut{ID: 5, Hash: []byte("h"), Data: []byte("blob"), Trace: tc},
 		&wire.BlobAck{ID: 1, Hash: []byte("h"), OK: false, Msg: "tampered"},
-		&wire.BlobAck{ID: 2, Hash: []byte("h"), OK: true, Msg: ""},
+		&wire.BlobAck{ID: 2, Hash: []byte("h"), OK: true, Msg: "", Trace: tc},
 		&wire.BlobGet{ID: 3, Hash: []byte("h")},
+		&wire.BlobGet{ID: 6, Hash: []byte("h"), Trace: tc},
 		&wire.BlobData{ID: 3, Hash: []byte("h"), Found: true, Data: []byte("blob")},
-		&wire.BlobData{ID: 4, Hash: []byte("h"), Found: false},
+		&wire.BlobData{ID: 4, Hash: []byte("h"), Found: false, Trace: tc},
 	}
 }
 

@@ -78,12 +78,16 @@ type Message interface {
 
 // Invocation is the invocation tuple (i, oc, j, sigma) of Algorithm 1: the
 // invoking client, the opcode, the register index and the
-// SUBMIT-signature.
+// SUBMIT-signature. Trace optionally carries the operation's
+// distributed-tracing context; it is covered by the SUBMIT-signature
+// (see AppendSubmitPayload) and echoed verbatim in REPLY.L, so
+// verifiers of pending operations recompute the identical payload.
 type Invocation struct {
 	Client    int
 	Op        OpCode
 	Reg       int
 	SubmitSig []byte
+	Trace     *TraceCtx
 }
 
 // SignedVersion pairs a version with the COMMIT-signature of the client
@@ -149,7 +153,11 @@ type Submit struct {
 }
 
 // Reply is the REPLY message of Algorithm 2 (lines 111 and 114). For
-// write operations JVer and Mem are absent (IsRead == false).
+// write operations JVer and Mem are absent (IsRead == false). Trace
+// optionally echoes the SUBMIT's trace context back with the server's
+// root span, letting the client link the server-side subtree; it is
+// advisory (the server signs nothing) and never influences protocol
+// state.
 type Reply struct {
 	IsRead bool
 	C      int           // client who committed the last scheduled operation
@@ -158,6 +166,7 @@ type Reply struct {
 	Mem    MemEntry      // MEM[j], reads only
 	L      []Invocation  // invocation tuples of concurrent operations
 	P      [][]byte      // PROOF-signatures, indexed by client; nil = bottom
+	Trace  *TraceCtx
 }
 
 // Clone returns a deep copy of the reply sharing no memory with the
@@ -177,6 +186,7 @@ func (rp *Reply) Clone() *Reply {
 		for i, inv := range rp.L {
 			c.L[i] = inv
 			c.L[i].SubmitSig = append([]byte(nil), inv.SubmitSig...)
+			c.L[i].Trace = inv.Trace.Clone()
 		}
 	}
 	if rp.P != nil {
@@ -187,6 +197,7 @@ func (rp *Reply) Clone() *Reply {
 			}
 		}
 	}
+	c.Trace = rp.Trace.Clone()
 	return c
 }
 
@@ -241,18 +252,23 @@ var (
 // signature kinds of Algorithm 1, rendered canonically.
 
 // SubmitPayload is the payload of the SUBMIT-signature:
-// opcode || register || timestamp.
-func SubmitPayload(op OpCode, reg int, t int64) []byte {
-	return AppendSubmitPayload(nil, op, reg, t)
+// opcode || register || timestamp || trace context.
+func SubmitPayload(op OpCode, reg int, t int64, tr *TraceCtx) []byte {
+	return AppendSubmitPayload(nil, op, reg, t, tr)
 }
 
 // AppendSubmitPayload appends the SUBMIT-signature payload to buf and
 // returns the extended slice. The hot path reuses a scratch buffer instead
-// of allocating per signature.
-func AppendSubmitPayload(buf []byte, op OpCode, reg int, t int64) []byte {
+// of allocating per signature. The trace context is part of the signed
+// payload: it travels inside the invocation tuple, so verifiers of
+// pending operations (REPLY.L) hold exactly the fields the signer
+// covered, and a server cannot reassign a trace to another operation
+// behind a valid signature.
+func AppendSubmitPayload(buf []byte, op OpCode, reg int, t int64, tr *TraceCtx) []byte {
 	buf = append(buf, byte(op))
 	buf = appendU32(buf, uint32(reg))
-	return appendI64(buf, t)
+	buf = appendI64(buf, t)
+	return appendTracePayload(buf, tr)
 }
 
 // DataPayload is the payload of the DATA-signature: timestamp || xbar,
@@ -354,7 +370,8 @@ func appendInvocation(buf []byte, inv Invocation) []byte {
 	buf = appendU32(buf, uint32(inv.Client))
 	buf = appendU8(buf, uint8(inv.Op))
 	buf = appendU32(buf, uint32(inv.Reg))
-	return appendBytes(buf, inv.SubmitSig)
+	buf = appendBytes(buf, inv.SubmitSig)
+	return appendTraceCtx(buf, inv.Trace)
 }
 
 func appendMemEntry(buf []byte, m MemEntry) []byte {
@@ -489,6 +506,7 @@ func (r *reader) invocation() Invocation {
 	inv.Op = OpCode(r.u8())
 	inv.Reg = int(r.u32())
 	inv.SubmitSig = r.bytes()
+	inv.Trace = r.traceCtx()
 	return inv
 }
 
@@ -528,7 +546,7 @@ func (rp *Reply) encodeBody(buf []byte) []byte {
 	for _, p := range rp.P {
 		buf = appendBytes(buf, p)
 	}
-	return buf
+	return appendTraceCtx(buf, rp.Trace)
 }
 
 func (c *Commit) encodeBody(buf []byte) []byte {
@@ -649,6 +667,7 @@ func Decode(data []byte) (Message, error) {
 		} else {
 			r.fail()
 		}
+		rp.Trace = r.traceCtx()
 		m = rp
 	case KindCommit:
 		c := &Commit{}

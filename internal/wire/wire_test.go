@@ -196,10 +196,16 @@ func TestSubmitPayloadInjective(t *testing.T) {
 		}
 		seen[string(p)] = name
 	}
-	add("read-0-1", SubmitPayload(OpRead, 0, 1))
-	add("write-0-1", SubmitPayload(OpWrite, 0, 1))
-	add("read-1-1", SubmitPayload(OpRead, 1, 1))
-	add("read-0-2", SubmitPayload(OpRead, 0, 2))
+	add("read-0-1", SubmitPayload(OpRead, 0, 1, nil))
+	add("write-0-1", SubmitPayload(OpWrite, 0, 1, nil))
+	add("read-1-1", SubmitPayload(OpRead, 1, 1, nil))
+	add("read-0-2", SubmitPayload(OpRead, 0, 2, nil))
+	tc := &TraceCtx{Span: 1}
+	tc.ID[0] = 0xfa
+	add("read-0-1-traced", SubmitPayload(OpRead, 0, 1, tc))
+	tc2 := &TraceCtx{Span: 2}
+	tc2.ID[0] = 0xfa
+	add("read-0-1-traced-span2", SubmitPayload(OpRead, 0, 1, tc2))
 }
 
 func TestDataPayloadBottomVsHash(t *testing.T) {

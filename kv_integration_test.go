@@ -2,6 +2,7 @@ package faust
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -80,26 +81,26 @@ func TestTCPMultiShardKV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := alpha0.Put("shared-key", []byte("alpha-value")); err != nil {
+	if err := alpha0.Put(context.Background(), "shared-key", []byte("alpha-value")); err != nil {
 		t.Fatal(err)
 	}
-	if err := alpha0.Put("bulk", bigAlpha); err != nil {
+	if err := alpha0.Put(context.Background(), "bulk", bigAlpha); err != nil {
 		t.Fatal(err)
 	}
 	batch := make([]kv.Item, 40)
 	for i := range batch {
 		batch[i] = kv.Item{Key: fmt.Sprintf("batch-%03d", i), Value: []byte(fmt.Sprintf("payload-%03d", i))}
 	}
-	if err := alpha0.PutBatch(batch); err != nil {
+	if err := alpha0.PutBatch(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	if h := alpha0.Height(); h < 3 {
 		t.Fatalf("alpha tree height = %d, want >= 3 (the restart must recover a real multi-level tree)", h)
 	}
-	if err := beta0.Put("shared-key", []byte("beta-value")); err != nil {
+	if err := beta0.Put(context.Background(), "shared-key", []byte("beta-value")); err != nil {
 		t.Fatal(err)
 	}
-	if err := beta0.Put("beta-only", []byte("exists only here")); err != nil {
+	if err := beta0.Put(context.Background(), "beta-only", []byte("exists only here")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -114,16 +115,16 @@ func TestTCPMultiShardKV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, err := alpha1.GetFrom(0, "shared-key"); err != nil || string(v) != "alpha-value" {
+	if v, err := alpha1.GetFrom(context.Background(), 0, "shared-key"); err != nil || string(v) != "alpha-value" {
 		t.Fatalf("alpha read = %q, %v", v, err)
 	}
-	if v, err := beta1.GetFrom(0, "shared-key"); err != nil || string(v) != "beta-value" {
+	if v, err := beta1.GetFrom(context.Background(), 0, "shared-key"); err != nil || string(v) != "beta-value" {
 		t.Fatalf("beta read = %q, %v", v, err)
 	}
-	if _, err := alpha1.GetFrom(0, "beta-only"); !errors.Is(err, kv.ErrNotFound) {
+	if _, err := alpha1.GetFrom(context.Background(), 0, "beta-only"); !errors.Is(err, kv.ErrNotFound) {
 		t.Fatalf("cross-shard leak: alpha sees beta-only (%v)", err)
 	}
-	if v, err := alpha1.GetFrom(0, "bulk"); err != nil || !bytes.Equal(v, bigAlpha) {
+	if v, err := alpha1.GetFrom(context.Background(), 0, "bulk"); err != nil || !bytes.Equal(v, bigAlpha) {
 		t.Fatalf("alpha bulk read failed: %d bytes, %v", len(v), err)
 	}
 
@@ -172,24 +173,24 @@ func TestTCPMultiShardKV(t *testing.T) {
 	if err != nil {
 		t.Fatalf("beta reader reopen: %v", err)
 	}
-	if v, err := alpha1r.GetFrom(0, "shared-key"); err != nil || string(v) != "alpha-value" {
+	if v, err := alpha1r.GetFrom(context.Background(), 0, "shared-key"); err != nil || string(v) != "alpha-value" {
 		t.Fatalf("alpha read after restart = %q, %v", v, err)
 	}
-	if v, err := alpha1r.GetFrom(0, "bulk"); err != nil || !bytes.Equal(v, bigAlpha) {
+	if v, err := alpha1r.GetFrom(context.Background(), 0, "bulk"); err != nil || !bytes.Equal(v, bigAlpha) {
 		t.Fatalf("alpha bulk after restart: %d bytes, %v", len(v), err)
 	}
 	// Every level of alpha's multi-node tree recovered from the shard's
 	// blob directory: a full authenticated listing touches all of it.
-	if keys, err := alpha1r.ListFrom(0); err != nil || len(keys) != 42 {
+	if keys, err := alpha1r.ListFrom(context.Background(), 0); err != nil || len(keys) != 42 {
 		t.Fatalf("alpha ListFrom after restart = %d keys, %v; want 42", len(keys), err)
 	}
-	if v, err := alpha1r.GetFrom(0, "batch-025"); err != nil || string(v) != "payload-025" {
+	if v, err := alpha1r.GetFrom(context.Background(), 0, "batch-025"); err != nil || string(v) != "payload-025" {
 		t.Fatalf("alpha batch key after restart = %q, %v", v, err)
 	}
-	if v, err := beta1r.GetFrom(0, "shared-key"); err != nil || string(v) != "beta-value" {
+	if v, err := beta1r.GetFrom(context.Background(), 0, "shared-key"); err != nil || string(v) != "beta-value" {
 		t.Fatalf("beta read after restart = %q, %v", v, err)
 	}
-	if keys, err := beta1r.ListFrom(0); err != nil || len(keys) != 2 {
+	if keys, err := beta1r.ListFrom(context.Background(), 0); err != nil || len(keys) != 2 {
 		t.Fatalf("beta ListFrom after restart = %v, %v", keys, err)
 	}
 
@@ -202,10 +203,10 @@ func TestTCPMultiShardKV(t *testing.T) {
 	if alpha0r.Len() != 42 {
 		t.Fatalf("alpha owner recovered %d keys, want 42", alpha0r.Len())
 	}
-	if err := alpha0r.Put("post-restart", []byte("written after recovery")); err != nil {
+	if err := alpha0r.Put(context.Background(), "post-restart", []byte("written after recovery")); err != nil {
 		t.Fatal(err)
 	}
-	if v, err := alpha1r.GetFrom(0, "post-restart"); err != nil || string(v) != "written after recovery" {
+	if v, err := alpha1r.GetFrom(context.Background(), 0, "post-restart"); err != nil || string(v) != "written after recovery" {
 		t.Fatalf("post-restart read = %q, %v", v, err)
 	}
 
