@@ -1,7 +1,8 @@
 // Faust-bench regenerates the paper-level experiments (E5-E14) plus the
 // system-growth experiments this repo added (E15 persistence, E16
 // concurrent throughput, E17 multi-tenant sharding, E18 the KV layer,
-// E19 tree directories, E20 latency tails and metrics overhead)
+// E19 tree directories, E20 latency tails and metrics overhead, E21
+// blob-fleet failover, E22 batched dispatch)
 // and prints one table per experiment.
 // Unlike the testing.B benchmarks in bench_test.go (micro-level,
 // statistics via the Go tooling), this harness prints the shaped tables
@@ -34,6 +35,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"faust/internal/blobfleet"
@@ -168,6 +170,7 @@ func main() {
 		{"kvtree", "E19: O(log n) directories — Put/GetFrom cost vs key count, Merkle tree vs flat ablation", expKVTree},
 		{"lattail", "E20: latency tails (p50/p99/p999) under concurrent load, and the cost of metrics", expLatencyTail},
 		{"failover", "E21: blob-fleet failover — KV workload survives the primary's death; degraded vs recovered tails, tampered-replica ablation", expFailover},
+		{"batch", "E22: batched verify/apply dispatch — ops/sec and tails vs batch cap and client count, unbatched (cap=1) ablation", expBatch},
 	}
 
 	want := map[string]bool{}
@@ -1569,4 +1572,242 @@ func expFailover() {
 	fmt.Printf("tamper ablation: %d reads, %d corrupt payloads skipped by verification, all served intact by the honest replica\n",
 		tamperOps, bstats.TamperSkips)
 	recordValue("failover/tamper-skips", 1, float64(bstats.TamperSkips), "skips")
+}
+
+// expBatch is E22: the staged batch pipeline of the dispatcher. Signed
+// wire-level clients (one SUBMIT-signature per op, replies awaited but
+// not re-verified) run over the in-memory transport against a
+// WAL-logged server (fsync + group commit — the deployment the pipeline
+// exists for), with dispatcher-side signature verification armed,
+// sweeping the drain cap against the client count. Wire-level rather
+// than full-protocol clients on purpose: a full USTOR client performs
+// O(n) PROOF verifications per REPLY, and at 128 clients that
+// client-side crypto saturates a small runner's CPU and masks the
+// server-side pipeline this experiment measures (the full client's
+// latency profile is E20's subject). cap=1 is the ablation: every op
+// takes the unbatched fast path, paying one fsync per op exactly like
+// the pre-pipeline dispatcher. The headline claim is the cap-64 vs
+// cap-1 ops/sec ratio at the highest client count (>= 2x): with many
+// submitters queued, one drain covers the whole inbox and the batch
+// shares a single fdatasync and one delivery per connection. The final
+// fastpath-wal row re-runs the E20 lattail/wal-gc shape with REAL
+// full-protocol clients (4 clients, cap 1) so the trajectory file can
+// confirm the fast path's p99 did not regress against the pre-batching
+// dispatcher.
+func expBatch() {
+	caps := []int{1, 8, 64, 256}
+	clientCounts := []int{1, 16, 128}
+	opsFor := func(m int) int {
+		switch {
+		case m >= 128:
+			return 25
+		case m >= 16:
+			return 100
+		default:
+			return 400
+		}
+	}
+	if quick {
+		caps = []int{1, 64}
+		clientCounts = []int{16}
+		opsFor = func(int) int { return 40 }
+	}
+
+	type tail struct {
+		opsPerSec      float64
+		p50, p99, p999 int64
+	}
+	// withServer builds the WAL-logged, verification-armed server and
+	// network, runs body against it, and turns the sampled latencies into
+	// a recorded row.
+	withServer := func(name string, m, cap, opsPer int, body func(nw *transport.Network, signers []*crypto.Signer, setLat func(c int, v []int64))) tail {
+		dir, err := os.MkdirTemp("", "faust-bench-batch")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+		backend, err := store.OpenFile(dir, store.FileOptions{
+			Fsync: true, GroupCommit: true, FlushInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			fail(err)
+		}
+		ps, err := store.Open(ustor.NewServer(m), backend, store.Options{})
+		if err != nil {
+			fail(err)
+		}
+		defer ps.Close()
+		ring, signers := crypto.NewTestKeyring(m, 22)
+		nw := transport.NewNetwork(m, ps,
+			transport.WithVerifier(ring), transport.WithMaxBatch(cap))
+		defer nw.Stop()
+
+		samples := make([][]int64, m)
+		var smu sync.Mutex
+		start := time.Now()
+		body(nw, signers, func(c int, v []int64) {
+			smu.Lock()
+			samples[c] = v
+			smu.Unlock()
+		})
+		wall := time.Since(start)
+
+		var all []int64
+		for _, s := range samples {
+			all = append(all, s...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		quantile := func(q float64) int64 {
+			rank := int(q * float64(len(all)))
+			if rank >= len(all) {
+				rank = len(all) - 1
+			}
+			return all[rank]
+		}
+		total := len(all)
+		t := tail{
+			opsPerSec: float64(total) / wall.Seconds(),
+			p50:       quantile(0.50),
+			p99:       quantile(0.99),
+			p999:      quantile(0.999),
+		}
+		results = append(results, benchResult{
+			Experiment: name,
+			N:          m,
+			NsPerOp:    float64(wall.Nanoseconds()) / float64(total),
+			P50Ns:      float64(t.p50),
+			P99Ns:      float64(t.p99),
+			P999Ns:     float64(t.p999),
+		})
+		return t
+	}
+
+	// runRaw drives m wire-level clients: each signs and sends one
+	// SUBMIT at a time and waits for its REPLY, so the measured path is
+	// sign -> verify -> WAL append+apply -> flush -> reply.
+	runRaw := func(name string, m, cap, opsPer int) tail {
+		return withServer(name, m, cap, opsPer, func(nw *transport.Network, signers []*crypto.Signer, setLat func(int, []int64)) {
+			done := make(chan error, m)
+			value := make([]byte, 64)
+			for c := 0; c < m; c++ {
+				go func(c int) {
+					link := nw.ClientLink(c)
+					samples := make([]int64, 0, opsPer)
+					payload := []byte(nil)
+					for i := 0; i < opsPer; i++ {
+						t0 := time.Now()
+						sub := &wire.Submit{
+							T:     int64(i + 1),
+							Inv:   wire.Invocation{Client: c, Op: wire.OpWrite, Reg: c},
+							Value: value,
+						}
+						payload = wire.AppendSubmitPayload(payload[:0], sub.Inv.Op, sub.Inv.Reg, sub.T, nil)
+						sub.Inv.SubmitSig = signers[c].Sign(crypto.DomainSubmit, payload)
+						if err := link.Send(sub); err != nil {
+							done <- err
+							return
+						}
+						if _, err := link.Recv(); err != nil {
+							done <- err
+							return
+						}
+						samples = append(samples, time.Since(t0).Nanoseconds())
+					}
+					setLat(c, samples)
+					done <- nil
+				}(c)
+			}
+			for c := 0; c < m; c++ {
+				if err := <-done; err != nil {
+					fail(err)
+				}
+			}
+		})
+	}
+
+	// runFull drives real full-protocol USTOR clients (the E20 shape).
+	runFull := func(name string, m, cap, opsPer int) tail {
+		return withServer(name, m, cap, opsPer, func(nw *transport.Network, signers []*crypto.Signer, setLat func(int, []int64)) {
+			ring, _ := crypto.NewTestKeyring(m, 22)
+			clients := make([]*ustor.Client, m)
+			for i := range clients {
+				clients[i] = ustor.NewClient(i, ring, signers[i], nw.ClientLink(i))
+			}
+			w := workload.New(m, workload.Config{ReadFraction: 0.5, ValueSize: 64, Seed: 22})
+			for i, c := range clients { // seed registers so reads return values
+				if err := c.Write(w.Stream(i).NextWrite().Value); err != nil {
+					fail(err)
+				}
+			}
+			done := make(chan error, m)
+			for c := 0; c < m; c++ {
+				go func(c int) {
+					s := w.Stream(c)
+					samples := make([]int64, 0, opsPer)
+					for i := 0; i < opsPer; i++ {
+						op := s.Next()
+						t0 := time.Now()
+						var err error
+						if op.IsWrite {
+							err = clients[c].Write(op.Value)
+						} else {
+							_, err = clients[c].Read(op.Reg)
+						}
+						if err != nil {
+							done <- err
+							return
+						}
+						samples = append(samples, time.Since(t0).Nanoseconds())
+					}
+					setLat(c, samples)
+					done <- nil
+				}(c)
+			}
+			for c := 0; c < m; c++ {
+				if err := <-done; err != nil {
+					fail(err)
+				}
+			}
+		})
+	}
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("(WAL fsync+group-commit server, dispatcher signature verification on,\n" +
+		" signed wire-level writes; cap=1 is the unbatched ablation)\n")
+	fmt.Printf("%-10s %6s %8s %12s %10s %10s %10s\n",
+		"clients", "cap", "ops", "ops/sec", "p50 us", "p99 us", "p999 us")
+	byCap := make(map[[2]int]tail)
+	for _, m := range clientCounts {
+		for _, cap := range caps {
+			opsPer := opsFor(m)
+			t := runRaw(fmt.Sprintf("batch/cap%d-c%d", cap, m), m, cap, opsPer)
+			byCap[[2]int{m, cap}] = t
+			fmt.Printf("%-10d %6d %8d %12.0f %10.1f %10.1f %10.1f\n",
+				m, cap, m*opsPer, t.opsPerSec, us(t.p50), us(t.p99), us(t.p999))
+		}
+	}
+	topM := clientCounts[len(clientCounts)-1]
+	base := byCap[[2]int{topM, 1}]
+	var bestCap int
+	var best tail
+	for _, cap := range caps[1:] {
+		if t := byCap[[2]int{topM, cap}]; t.opsPerSec > best.opsPerSec {
+			best, bestCap = t, cap
+		}
+	}
+	if base.opsPerSec > 0 && bestCap != 0 {
+		speedup := best.opsPerSec / base.opsPerSec
+		fmt.Printf("batching speedup at %d clients: %.2fx (cap %d vs cap 1; target >= 2x)\n",
+			topM, speedup, bestCap)
+		recordValue(fmt.Sprintf("batch/speedup-c%d", topM), topM, speedup, "x")
+	}
+
+	// Fast-path regression guard: same shape as E20's lattail/wal-gc.
+	fpOps := 400
+	if quick {
+		fpOps = 120
+	}
+	fp := runFull("batch/fastpath-wal", 4, 1, fpOps)
+	fmt.Printf("%-10s %6d %8d %12.0f %10.1f %10.1f %10.1f  (fast-path guard, cf. lattail/wal-gc)\n",
+		"4", 1, 4*fpOps, fp.opsPerSec, us(fp.p50), us(fp.p99), us(fp.p999))
 }

@@ -1,10 +1,22 @@
 // Faust-server hosts one or more USTOR storage shards over TCP.
 //
-// The server is the UNTRUSTED party of the protocol: it holds no keys and
-// verifies nothing; all guarantees are enforced by the clients. Keys are
-// derived deterministically from -seed so that server-less tools (clients)
-// can derive the same public keys; use real key distribution in anything
-// beyond a demo.
+// The server is the UNTRUSTED party of the protocol: all guarantees are
+// enforced by the clients. By default it holds no keys and verifies
+// nothing. -verify opts into dispatcher-side SUBMIT-signature checking as
+// admission hygiene (forged SUBMITs are rejected before they touch shard
+// state); the public keys are derived deterministically from -seed, which
+// must match the clients' -seed (demo-grade key distribution — use a real
+// PKI beyond a demo). Verification never strengthens the protocol: a
+// Byzantine server would simply skip it.
+//
+// # Batched dispatch
+//
+// Each shard dispatcher drains its inbox in arrival-order batches of up
+// to -max-batch messages: SUBMIT signatures verify in parallel across
+// -verify-workers goroutines (with -verify), ops apply in order, the WAL
+// syncs once per batch, and replies coalesce into one framed write per
+// connection. -max-batch 1 disables batching (every op takes the
+// unbatched fast path).
 //
 // Example:
 //
@@ -108,6 +120,7 @@ import (
 	"time"
 
 	"faust/internal/blobfleet"
+	"faust/internal/crypto"
 	"faust/internal/obs"
 	"faust/internal/obs/trace"
 	"faust/internal/shard"
@@ -130,6 +143,10 @@ func main() {
 	blobFaults := flag.String("blob-faults", "", "fault-inject one fleet backend, e.g. 'backend=0,errs=0.3,latency=2ms,seed=7' (requires -blob-backends)")
 	traceSample := flag.Int("trace-sample", 0, "retain 1 in N traces by head sampling (0 = head sampling off)")
 	traceSlow := flag.Duration("trace-slow", 0, "always retain traces at least this slow (tail sampling; 0 = off)")
+	maxBatch := flag.Int("max-batch", transport.DefaultMaxBatch, "max messages a shard dispatcher drains per batch (1 = unbatched)")
+	verify := flag.Bool("verify", false, "verify SUBMIT signatures at the dispatcher (admission hygiene; keys derived from -seed)")
+	verifyWorkers := flag.Int("verify-workers", 0, "goroutines for parallel batch signature verification (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 42, "deterministic demo key seed for -verify (must match the clients' -seed)")
 	flag.Parse()
 
 	if *traceSample > 0 || *traceSlow > 0 {
@@ -194,7 +211,7 @@ func main() {
 		log.Fatalf("faust-server: -blob-faults requires -blob-backends")
 	}
 
-	router, err := shard.NewRouter(specs, shard.Options{
+	opts := shard.Options{
 		BaseDir: *dataDir,
 		FileOptions: store.FileOptions{
 			Fsync:         *fsync,
@@ -205,7 +222,17 @@ func main() {
 		Default:      def,
 		BlobFleet:    fleetSpec,
 		BlobFaults:   faultPlan,
-	})
+	}
+	if *verify {
+		crypto.SetVerifyWorkers(*verifyWorkers)
+		opts.VerifyKeyring = func(name string, n int) *crypto.Keyring {
+			// Same derivation as faust-client: seed + group size. Every
+			// shard with the same n shares the demo key set.
+			ring, _ := crypto.NewTestKeyring(n, *seed)
+			return ring
+		}
+	}
+	router, err := shard.NewRouter(specs, opts)
 	if err != nil {
 		log.Fatalf("faust-server: %v", err)
 	}
@@ -245,13 +272,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("faust-server: listen: %v", err)
 	}
-	srv := transport.ServeTCPSharded(ln, router)
+	srv := transport.ServeTCPSharded(ln, router, transport.WithTCPMaxBatch(*maxBatch))
 	fmt.Printf("faust-server: serving %d registers on %s (default shard)\n", defInfo.N, ln.Addr())
 	if declared := router.DeclaredShards(); len(declared) > 1 {
 		fmt.Printf("faust-server: declared shards: %v\n", declared)
 	}
 	if def != nil {
 		fmt.Printf("faust-server: lazy shard creation enabled (n=%d, persist=%v)\n", def.N, def.Persist)
+	}
+	if *maxBatch != 1 {
+		fmt.Printf("faust-server: batched dispatch on (max-batch=%d)\n", *maxBatch)
+	}
+	if *verify {
+		fmt.Printf("faust-server: SUBMIT signature verification on (seed=%d, workers=%d)\n", *seed, crypto.VerifyWorkers())
 	}
 	fmt.Println("faust-server: this process is the UNTRUSTED party; clients verify everything")
 

@@ -39,6 +39,11 @@ const (
 	// EventBackendUp: a previously dead blob backend answered a probe
 	// (or live traffic) and was resurrected into the rotation.
 	EventBackendUp EventKind = "blob-backend-up"
+	// EventSubmitReject: the dispatcher's opt-in SUBMIT verification
+	// refused an operation — forged signature, or a sender id claiming
+	// another client's identity. The op is dropped before it can touch
+	// the core; the rest of its batch proceeds.
+	EventSubmitReject EventKind = "submit-sig-reject"
 )
 
 // Event is one timestamped entry of the protocol event log. Client is the

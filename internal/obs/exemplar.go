@@ -70,6 +70,21 @@ func (h *Histogram) ObserveSinceExemplar(start time.Time, id trace.TraceID) {
 	h.ObserveExemplar(int64(time.Since(start)), id)
 }
 
+// ObserveExemplarAlways records v and, when id is present, remembers
+// (id, v) as the histogram's exemplar regardless of the tracing slow
+// threshold. The threshold is a latency notion; histograms of other
+// quantities (dispatch batch sizes, queue depths) decide for themselves
+// which observations deserve a trace link and pass a zero id for the
+// rest.
+func (h *Histogram) ObserveExemplarAlways(v int64, id trace.TraceID) {
+	h.Observe(v)
+	if id.IsZero() {
+		return
+	}
+	e := &Exemplar{Trace: id, Value: v, At: time.Now().UnixNano()}
+	exemplarOf(h, true).p.Store(e)
+}
+
 // ExemplarOf returns the histogram's most recent over-threshold
 // exemplar, nil when none was recorded.
 func ExemplarOf(h *Histogram) *Exemplar {

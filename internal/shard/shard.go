@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"faust/internal/blobfleet"
+	"faust/internal/crypto"
 	"faust/internal/obs"
 	"faust/internal/store"
 	"faust/internal/transport"
@@ -85,6 +86,13 @@ type Options struct {
 	// fleet backend in a fault injector.
 	BlobFleet  *blobfleet.FleetSpec
 	BlobFaults *blobfleet.FaultPlan
+	// VerifyKeyring, when non-nil, supplies each shard's public keyring
+	// for dispatcher-side SUBMIT-signature verification (see the
+	// transport.VerifierResolver extension). It is called once per shard
+	// instantiation with the shard's name and group size; returning nil
+	// leaves that shard unverified. Admission hygiene only — the
+	// protocol's guarantees stay client-enforced.
+	VerifyKeyring func(name string, n int) *crypto.Keyring
 }
 
 // Info describes one instantiated shard.
@@ -102,6 +110,7 @@ type instance struct {
 	info  Info
 	core  transport.ServerCore
 	ps    *store.Persistent   // nil for in-memory shards
+	ring  *crypto.Keyring     // nil when the shard is unverified
 	blobs transport.BlobStore // bulk blob channel backing (KV chunks)
 	fleet *blobfleet.Failover // nil without Options.BlobFleet; Close stops its prober
 }
@@ -130,10 +139,11 @@ type Router struct {
 }
 
 var (
-	_ transport.ShardResolver  = (*Router)(nil)
-	_ transport.ShardPreflight = (*Router)(nil)
-	_ transport.BlobResolver   = (*Router)(nil)
-	_ transport.BlobStore      = (*store.FileBlobs)(nil)
+	_ transport.ShardResolver    = (*Router)(nil)
+	_ transport.ShardPreflight   = (*Router)(nil)
+	_ transport.BlobResolver     = (*Router)(nil)
+	_ transport.VerifierResolver = (*Router)(nil)
+	_ transport.BlobStore        = (*store.FileBlobs)(nil)
 )
 
 // ValidName reports whether a shard name is acceptable: 1-64 bytes of
@@ -323,6 +333,9 @@ func (r *Router) create(sp Spec) (*instance, error) {
 		info: Info{Name: sp.Name, N: sp.N, Persistent: sp.Persist},
 		core: srv,
 	}
+	if r.opts.VerifyKeyring != nil {
+		inst.ring = r.opts.VerifyKeyring(sp.Name, sp.N)
+	}
 	dir := ""
 	if sp.Persist {
 		dir = sp.Dir
@@ -402,6 +415,22 @@ func (r *Router) ResolveBlobs(name string) (transport.BlobStore, error) {
 		return nil, fmt.Errorf("shard: shard %q closed", name)
 	}
 	return inst.blobs, nil
+}
+
+// ResolveVerifier implements transport.VerifierResolver: it returns the
+// named shard's SUBMIT-verification keyring, nil when the shard is
+// unverified (no Options.VerifyKeyring, or it declined this shard). The
+// transport consults it after ResolveShard on the same handshake, so the
+// instance always exists by the time this runs; a racing Close simply
+// yields nil, which downgrades to no verification — never a wrong ring.
+func (r *Router) ResolveVerifier(name string) *crypto.Keyring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst, ok := r.open[name]
+	if !ok {
+		return nil
+	}
+	return inst.ring
 }
 
 // FleetStatus reports an instantiated shard's blob fleet backends, in

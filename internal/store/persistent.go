@@ -148,6 +148,57 @@ func (p *Persistent) HandleSubmit(ctx context.Context, from int, s *wire.Submit)
 	return reply
 }
 
+// HandleSubmitBuffered is the batch-pipeline variant of HandleSubmit: it
+// logs and applies the SUBMIT but leaves the backend flush to a later
+// FlushBatch call, so a whole dispatcher batch shares one fsync. The
+// caller (the transport's batched dispatcher) MUST withhold the returned
+// reply until FlushBatch succeeds — the durability contract is unchanged,
+// only the flush is amortized. A nil reply means this op must not be
+// acknowledged regardless of the flush outcome.
+func (p *Persistent) HandleSubmitBuffered(ctx context.Context, from int, s *wire.Submit) *wire.Reply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return nil
+	}
+	_, ha := trace.Child(ctx, "wal.append")
+	err := p.backend.Append(Record{From: from, Msg: s})
+	ha.End()
+	if err != nil {
+		p.broken = err
+		return nil
+	}
+	reply := p.core.HandleSubmit(ctx, from, s)
+	p.bumpLocked()
+	if p.broken != nil { // snapshot rotation failed: stay silent
+		return nil
+	}
+	return reply
+}
+
+// FlushBatch syncs every record buffered by HandleSubmitBuffered calls
+// since the last flush. On failure the wrapper goes sticky-broken exactly
+// as a per-op flush failure would, and the caller must suppress every
+// reply the failed batch produced.
+func (p *Persistent) FlushBatch() error {
+	p.mu.Lock()
+	if p.broken != nil {
+		err := p.broken
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Unlock()
+	// Flush outside p.mu, mirroring HandleSubmit: the backend coalesces
+	// concurrent flushes itself.
+	if err := p.backend.Flush(); err != nil {
+		p.mu.Lock()
+		p.broken = err
+		p.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // HandleCommit implements transport.ServerCore: log, then apply.
 func (p *Persistent) HandleCommit(ctx context.Context, from int, c *wire.Commit) {
 	p.mu.Lock()

@@ -1,21 +1,20 @@
 package transport
 
 import (
-	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"faust/internal/obs"
-	"faust/internal/obs/trace"
+	"faust/internal/crypto"
 	"faust/internal/wire"
 )
 
 // Network is an in-memory star network connecting n clients to one server
-// core over reliable FIFO links. A single dispatcher goroutine delivers
-// client messages to the core one at a time in arrival order, exactly as
-// Algorithm 2 assumes.
+// core over reliable FIFO links. A single dispatcher goroutine drains
+// client messages in arrival-order batches and runs the core's handlers
+// one at a time, exactly as Algorithm 2 assumes (batching changes how
+// much the dispatcher takes per drain, never the application order).
 type Network struct {
 	n        int
 	core     ServerCore
@@ -23,8 +22,10 @@ type Network struct {
 	outboxes []*queue
 	links    []*memoryLink
 
-	metrics bool
-	stats   Stats
+	metrics  bool
+	stats    Stats
+	ring     *crypto.Keyring
+	maxBatch int
 
 	blobs BlobStore // nil = no bulk channel
 
@@ -66,6 +67,22 @@ func WithDelay(max time.Duration, seed int64) Option {
 	}
 }
 
+// WithVerifier arms server-side SUBMIT-signature verification: the
+// dispatcher checks every SUBMIT against the ring and silently drops
+// forged ones. The protocol's guarantees never depend on this (the
+// server is the untrusted party); it is admission hygiene, and it gives
+// the batch pipeline its parallel verification stage.
+func WithVerifier(ring *crypto.Keyring) Option {
+	return func(nw *Network) { nw.ring = ring }
+}
+
+// WithMaxBatch caps how many queued messages the dispatcher drains per
+// batch (default DefaultMaxBatch). 1 disables batching — every op takes
+// the fast path — which is the ablation baseline of the E22 experiment.
+func WithMaxBatch(n int) Option {
+	return func(nw *Network) { nw.maxBatch = n }
+}
+
 // envelopeQueue is an unbounded FIFO of envelopes with blocking pop.
 type envelopeQueue = fifo[envelope]
 
@@ -93,6 +110,7 @@ func NewNetwork(n int, core ServerCore, opts ...Option) *Network {
 		inbox:    newEnvelopeQueue(),
 		outboxes: make([]*queue, n),
 		links:    make([]*memoryLink, n),
+		maxBatch: DefaultMaxBatch,
 	}
 	for _, o := range opts {
 		o(nw)
@@ -148,51 +166,49 @@ func (nw *Network) delayPump(l *memoryLink) {
 			e.enq = time.Now()
 		}
 		if !nw.inbox.push(e) {
+			// The network stopped while this message was in its delay
+			// window; account it like any other post-Stop discard.
+			nw.dropped.Add(1)
 			return
 		}
 	}
 }
 
-// dispatch is the server event loop: it pops arriving messages one at a
-// time and runs the core's handler atomically.
+// dispatch is the server event loop: the shared batched engine over this
+// network's inbox. Handlers still run one at a time in arrival order.
 func (nw *Network) dispatch() {
 	defer nw.wg.Done()
-	for {
-		e, ok := nw.inbox.pop()
-		if !ok {
-			return
+	dispatchBatches(nw.inbox, nw.maxBatch)
+}
+
+// batchSink implementation: the whole in-memory network is one sink.
+
+func (nw *Network) sinkCore() ServerCore      { return nw.core }
+func (nw *Network) sinkRing() *crypto.Keyring { return nw.ring }
+func (nw *Network) sinkName() string          { return "" }
+func (nw *Network) countOp()                  {}
+func (nw *Network) dropUnknown()              { nw.dropped.Add(1) }
+func (nw *Network) sendReply(to int, m wire.Message) {
+	if nw.metrics {
+		atomic.AddInt64(&nw.stats.ServerToClientMsgs, 1)
+		atomic.AddInt64(&nw.stats.ServerToClientBytes, int64(wire.EncodedSize(m)))
+	}
+	if err := nw.outboxes[to].push(m); err != nil {
+		nw.dropped.Add(1)
+	}
+}
+
+func (nw *Network) sendReplies(to int, msgs []wire.Message) {
+	if nw.metrics {
+		atomic.AddInt64(&nw.stats.ServerToClientMsgs, int64(len(msgs)))
+		var bytes int64
+		for _, m := range msgs {
+			bytes += int64(wire.EncodedSize(m))
 		}
-		switch m := e.msg.(type) {
-		case *wire.Submit:
-			ctx, h := joinWireTrace(context.Background(), m.Inv.Trace, true, spanSrvSubmit)
-			trace.Event(ctx, spanQueue, e.enq)
-			start := obs.StartTimer()
-			reply := nw.core.HandleSubmit(ctx, e.from, m)
-			tmSubmitNs.ObserveSinceExemplar(start, exemplarID(m.Inv.Trace))
-			h.End()
-			if reply == nil {
-				continue // Byzantine silence: client stays blocked
-			}
-			if nw.metrics {
-				atomic.AddInt64(&nw.stats.ServerToClientMsgs, 1)
-				atomic.AddInt64(&nw.stats.ServerToClientBytes, int64(wire.EncodedSize(reply)))
-			}
-			if err := nw.outboxes[e.from].push(reply); err != nil {
-				nw.dropped.Add(1)
-			}
-		case *wire.Commit:
-			start := obs.StartTimer()
-			nw.core.HandleCommit(context.Background(), e.from, m)
-			tmCommitNs.ObserveSince(start)
-		default:
-			if gc, ok := nw.core.(GenericCore); ok {
-				gc.HandleMessage(e.from, e.msg)
-				continue
-			}
-			// Unknown message kinds at the server are dropped; a correct
-			// client never sends them.
-			nw.dropped.Add(1)
-		}
+		atomic.AddInt64(&nw.stats.ServerToClientBytes, bytes)
+	}
+	if err := nw.outboxes[to].pushAll(msgs); err != nil {
+		nw.dropped.Add(int64(len(msgs)))
 	}
 }
 
@@ -264,7 +280,7 @@ func (l *memoryLink) Send(m wire.Message) error {
 		atomic.AddInt64(&l.nw.stats.ClientToServerMsgs, 1)
 		atomic.AddInt64(&l.nw.stats.ClientToServerBytes, int64(wire.EncodedSize(m)))
 	}
-	e := envelope{from: l.id, msg: m, enq: traceStamp(m)}
+	e := envelope{sink: l.nw, from: l.id, msg: m, enq: traceStamp(m)}
 	if l.sendQ != nil {
 		if !l.sendQ.push(e) {
 			return ErrClosed

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"faust/internal/crypto"
 	"faust/internal/obs"
 	"faust/internal/obs/trace"
 	"faust/internal/wire"
@@ -155,9 +156,35 @@ func WithHandshakeTimeout(d time.Duration) TCPOption {
 // WithSharedDispatcher routes every shard through one global dispatcher
 // goroutine instead of one per shard, restoring the pre-shard serialization
 // across tenants. It exists as the ablation baseline for the multi-shard
-// scaling experiment (E17); production servers want the default.
+// scaling experiment (E17); production servers want the default. The
+// batched pipeline runs here too: one drained batch may span several
+// shards, each op applying against (and flushing) its own shard's core.
 func WithSharedDispatcher() TCPOption {
 	return func(s *TCPServer) { s.shared = true }
+}
+
+// WithTCPMaxBatch caps how many queued envelopes a dispatcher drains per
+// batch (default DefaultMaxBatch); 1 disables batching entirely. Wired to
+// the faust-server -max-batch flag.
+func WithTCPMaxBatch(n int) TCPOption {
+	return func(s *TCPServer) { s.maxBatch = n }
+}
+
+// WithVerifyKeyring arms server-side SUBMIT-signature verification with
+// one ring for every shard. A resolver implementing VerifierResolver
+// overrides it per shard. Admission hygiene only: the protocol's
+// guarantees remain client-enforced.
+func WithVerifyKeyring(ring *crypto.Keyring) TCPOption {
+	return func(s *TCPServer) { s.ring = ring }
+}
+
+// VerifierResolver is an optional ShardResolver extension supplying a
+// per-shard public keyring for dispatcher-side SUBMIT verification. It is
+// consulted once per shard-runtime creation, after ResolveShard; nil
+// means this shard falls back to the server-wide WithVerifyKeyring ring
+// (or no verification).
+type VerifierResolver interface {
+	ResolveVerifier(name string) *crypto.Keyring
 }
 
 // writeFramedMsg frames and writes one message as a single Write call
@@ -177,6 +204,33 @@ func writeFramedMsg(conn net.Conn, wmu *sync.Mutex, m wire.Message) error {
 	return err
 }
 
+// writeFramedMsgs frames a whole batch of messages into one pooled buffer
+// and writes it with a single Write call under the connection's write
+// lock — one lock round and one syscall for every reply a batch owes this
+// destination.
+//
+//faustlint:hotpath
+func writeFramedMsgs(conn net.Conn, wmu *sync.Mutex, msgs []wire.Message) error {
+	if len(msgs) == 1 {
+		return writeFramedMsg(conn, wmu, msgs[0])
+	}
+	buf := wire.GetBuffer()
+	b := (*buf)[:0]
+	for _, m := range msgs {
+		hdr := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = wire.AppendEncode(b, m)
+		binary.BigEndian.PutUint32(b[hdr:], uint32(len(b)-hdr-4))
+	}
+	wmu.Lock()
+	_, err := conn.Write(b)
+	wmu.Unlock()
+	*buf = b // keep any growth for the pool
+	wire.PutBuffer(buf)
+	tmFramesOut.Add(int64(len(msgs)))
+	return err
+}
+
 // serverConn wraps an accepted connection with a write lock so REPLYs from
 // the dispatcher and pushes from core goroutines (lockstep timers, async
 // replies) cannot interleave frames on the stream.
@@ -190,28 +244,17 @@ func (c *serverConn) writeMsg(m wire.Message) error {
 	return writeFramedMsg(c.conn, &c.wmu, m)
 }
 
-// tcpEnvelope tags an arriving message with its sender and shard. enq
-// is the inbox-entry stamp for the dispatcher queue-wait span, zero
-// when the message is untraced (see traceStamp).
-type tcpEnvelope struct {
-	rt   *shardRT
-	from int
-	msg  wire.Message
-	enq  time.Time
-}
-
-// The per-shard inboxes are fifo[tcpEnvelope] spelled out rather than
-// aliased: an alias here would sit on the recursive cycle
-// fifo[tcpEnvelope] -> tcpEnvelope -> shardRT -> inbox and current Go
-// toolchains reject that shape when written through an alias.
-
 // shardRT is the per-shard runtime inside a TCPServer: the resolved core,
-// its inbox (own queue per shard, or the server's shared one), and the
-// connection registry for push-backs.
+// its inbox (own queue per shard, or the server's shared one), the
+// optional verification keyring, and the connection registry for
+// push-backs. It is the TCP transport's batchSink: messages arrive in
+// envelopes pointing at their shardRT, so one (possibly shared)
+// dispatcher serves any number of shards.
 type shardRT struct {
 	name  string
 	core  ServerCore
-	inbox *fifo[tcpEnvelope]
+	inbox *fifo[envelope]
+	ring  *crypto.Keyring
 	ops   *obs.Counter // per-tenant dispatched-op counter
 
 	mu    sync.Mutex
@@ -229,6 +272,28 @@ func (rt *shardRT) push(to int, m wire.Message) error {
 	return sc.writeMsg(m)
 }
 
+// batchSink implementation.
+
+func (rt *shardRT) sinkCore() ServerCore             { return rt.core }
+func (rt *shardRT) sinkRing() *crypto.Keyring        { return rt.ring }
+func (rt *shardRT) sinkName() string                 { return rt.name }
+func (rt *shardRT) countOp()                         { rt.ops.Inc() }
+func (rt *shardRT) dropUnknown()                     {}
+func (rt *shardRT) sendReply(to int, m wire.Message) { _ = rt.push(to, m) }
+
+// sendReplies writes a batch's replies for one client as a single framed
+// write: one connection-lock round and one syscall per destination per
+// batch instead of one per reply.
+func (rt *shardRT) sendReplies(to int, msgs []wire.Message) {
+	rt.mu.Lock()
+	sc := rt.conns[to]
+	rt.mu.Unlock()
+	if sc == nil {
+		return
+	}
+	_ = writeFramedMsgs(sc.conn, &sc.wmu, msgs)
+}
+
 // TCPServer hosts one or more server cores on a TCP listener. Each shard's
 // messages are serialized through that shard's dispatcher goroutine,
 // preserving the atomic event handler semantics of Algorithm 2 within the
@@ -238,7 +303,9 @@ type TCPServer struct {
 	ln               net.Listener
 	handshakeTimeout time.Duration
 	shared           bool
-	sharedInbox      *fifo[tcpEnvelope] // non-nil iff shared
+	sharedInbox      *fifo[envelope] // non-nil iff shared
+	maxBatch         int
+	ring             *crypto.Keyring // server-wide verification fallback
 
 	mu        sync.Mutex
 	stopped   bool
@@ -279,6 +346,7 @@ func ServeTCPSharded(ln net.Listener, resolver ShardResolver, opts ...TCPOption)
 		resolver:         resolver,
 		ln:               ln,
 		handshakeTimeout: defaultHandshakeTimeout,
+		maxBatch:         DefaultMaxBatch,
 		pending:          make(map[net.Conn]struct{}),
 		blobConns:        make(map[net.Conn]struct{}),
 		shards:           make(map[string]*shardRT),
@@ -288,7 +356,7 @@ func ServeTCPSharded(ln net.Listener, resolver ShardResolver, opts ...TCPOption)
 		o(s)
 	}
 	if s.shared {
-		s.sharedInbox = newFIFO[tcpEnvelope]()
+		s.sharedInbox = newFIFO[envelope]()
 		s.wg.Add(1)
 		go s.dispatchQueue(s.sharedInbox)
 	}
@@ -444,12 +512,18 @@ func (s *TCPServer) createShard(name string) (*shardRT, error) {
 		name:  name,
 		core:  core,
 		inbox: s.sharedInbox,
+		ring:  s.ring,
 		ops:   shardOpsCounter(name),
 		conns: make(map[int]*serverConn),
 	}
+	if vr, ok := s.resolver.(VerifierResolver); ok {
+		if ring := vr.ResolveVerifier(name); ring != nil {
+			rt.ring = ring
+		}
+	}
 	ownInbox := rt.inbox == nil
 	if ownInbox {
-		rt.inbox = newFIFO[tcpEnvelope]()
+		rt.inbox = newFIFO[envelope]()
 	}
 	if gc, ok := core.(GenericCore); ok {
 		gc.AttachPusher(rt.push)
@@ -572,7 +646,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if !rt.inbox.push(tcpEnvelope{rt: rt, from: id, msg: msg, enq: traceStamp(msg)}) {
+		if !rt.inbox.push(envelope{sink: rt, from: id, msg: msg, enq: traceStamp(msg)}) {
 			return
 		}
 	}
@@ -688,37 +762,11 @@ func (s *TCPServer) register(rt *shardRT, id int, sc *serverConn) bool {
 }
 
 // dispatchQueue is a shard's event loop (or the global one under
-// WithSharedDispatcher): it pops arriving messages one at a time and runs
-// the owning core's handler atomically.
-func (s *TCPServer) dispatchQueue(q *fifo[tcpEnvelope]) {
+// WithSharedDispatcher): the shared batched engine over this inbox.
+// Handlers still run one at a time in arrival order.
+func (s *TCPServer) dispatchQueue(q *fifo[envelope]) {
 	defer s.wg.Done()
-	for {
-		e, ok := q.pop()
-		if !ok {
-			return
-		}
-		e.rt.ops.Inc()
-		switch m := e.msg.(type) {
-		case *wire.Submit:
-			ctx, h := joinWireTrace(context.Background(), m.Inv.Trace, true, spanSrvSubmit)
-			trace.Event(ctx, spanQueue, e.enq)
-			start := obs.StartTimer()
-			reply := e.rt.core.HandleSubmit(ctx, e.from, m)
-			tmSubmitNs.ObserveSinceExemplar(start, exemplarID(m.Inv.Trace))
-			h.End()
-			if reply != nil {
-				_ = e.rt.push(e.from, reply)
-			}
-		case *wire.Commit:
-			start := obs.StartTimer()
-			e.rt.core.HandleCommit(context.Background(), e.from, m)
-			tmCommitNs.ObserveSince(start)
-		default:
-			if gc, ok := e.rt.core.(GenericCore); ok {
-				gc.HandleMessage(e.from, e.msg)
-			}
-		}
-	}
+	dispatchBatches(q, s.maxBatch)
 }
 
 // tcpLink is the client-side Link over one TCP connection.

@@ -92,6 +92,19 @@ func (q *queue) push(m wire.Message) error {
 	return nil
 }
 
+// pushAll appends a batch of messages atomically — one lock round and
+// one wake-up for a whole batch of coalesced replies.
+func (q *queue) pushAll(ms []wire.Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, ms...)
+	q.cond.Broadcast()
+	return nil
+}
+
 // pop blocks until an item is available or the queue closes. Items
 // already queued at close time are still delivered (reliable channel).
 func (q *queue) pop() (wire.Message, error) {
@@ -116,10 +129,14 @@ func (q *queue) close() {
 	q.cond.Broadcast()
 }
 
-// envelope tags a message with its sender for the server inbox. enq is
+// envelope tags a message with its sender and destination for a server
+// inbox. sink is the transport-specific runtime (a TCP shard, the
+// in-memory network) the batched dispatcher applies the message against —
+// one inbox may serve several sinks under a shared dispatcher. enq is
 // the enqueue stamp for the dispatcher queue-wait span; it is zero when
 // tracing is off so the disabled path never reads the clock.
 type envelope struct {
+	sink batchSink
 	from int
 	msg  wire.Message
 	enq  time.Time
@@ -168,6 +185,35 @@ func (q *fifo[T]) pop() (T, bool) {
 	q.items[0] = zero
 	q.items = q.items[1:]
 	return v, true
+}
+
+// popBatch blocks like pop, then drains up to max queued items (all of
+// them when max <= 0) into buf and returns the extended slice. Items
+// queued before close are still delivered — the drain path after close
+// behaves exactly like the live path, batching included. The second
+// return is false only when the queue is closed AND empty.
+//
+//faustlint:hotpath
+func (q *fifo[T]) popBatch(max int, buf []T) ([]T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	n := len(q.items)
+	if n == 0 {
+		return buf, false
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	buf = append(buf, q.items[:n]...)
+	var zero T
+	for i := 0; i < n; i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[n:]
+	return buf, true
 }
 
 func (q *fifo[T]) close() {

@@ -3,8 +3,9 @@
 //
 // The contract functions are identified by naming convention — Append*
 // / append* (append-style encoders writing into a caller buffer),
-// *Into (HashInto-style helpers filling caller storage), and
-// EncodedSize — plus any function opted in explicitly with a
+// *Into (HashInto-style helpers filling caller storage), EncodedSize,
+// and the batch dispatch drain/verify functions (VerifyBatch, popBatch,
+// dispatchBatches) — plus any function opted in explicitly with a
 // //faustlint:hotpath marker comment. Inside a contract function the
 // analyzer flags the allocation patterns that have crept into hot paths
 // before:
@@ -44,7 +45,11 @@ var Analyzer = &analysis.Analyzer{
 var _ = directive.Register(Analyzer.Name)
 
 // contractName matches function names bound to the zero-alloc contract.
-var contractName = regexp.MustCompile(`(?i)^(append.+|.+into|encodedsize)$`)
+// Beyond the codec conventions (Append*, *Into, EncodedSize), the batch
+// dispatch pipeline of PR 10 binds its per-batch drain/verify functions
+// by exact name: these run once per dispatched batch at full load, so a
+// stray allocation multiplies by the op rate just like a codec miss.
+var contractName = regexp.MustCompile(`(?i)^(append.+|.+into|encodedsize|verifybatch|popbatch|dispatchbatches)$`)
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	dp := directive.New(pass)
@@ -157,10 +162,28 @@ func checkBoxing(dp *directive.Pass, pass *analysis.Pass, fd *ast.FuncDecl, call
 		if _, isIface := argTV.Type.Underlying().(*types.Interface); isIface {
 			continue
 		}
+		if isPointerShaped(argTV.Type) {
+			// Pointers (and chan/map/func values) are stored directly in
+			// the interface word — the conversion never allocates.
+			continue
+		}
 		dp.Reportf(call.Args[i].Pos(),
 			"passing %s to a variadic interface parameter boxes it (allocation) on the %s hot path",
 			argTV.Type.String(), fd.Name.Name)
 	}
+}
+
+// isPointerShaped reports whether values of t fit the interface data
+// word without boxing: pointers, channels, maps, funcs and
+// unsafe.Pointer are stored directly by the runtime.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
 }
 
 func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {

@@ -14,6 +14,7 @@ func AppendRecord(buf []byte, v int) []byte {
 	_ = s
 	_ = string(buf[:4]) // want `string/\[\]byte conversion copies on the AppendRecord hot path`
 	sink(v)             // want `passing int to a variadic interface parameter boxes it`
+	sink(&v)            // pointers fit the interface word: no boxing, not flagged
 	return buf
 }
 
@@ -27,6 +28,27 @@ func HashInto(dst []byte, name string) []byte {
 func EncodedSize(payload []byte) int {
 	hdr := make([]byte, 4) // want `make\(\) allocates on the EncodedSize hot path`
 	return len(hdr) + len(payload)
+}
+
+// VerifyBatch is bound by name: the batch dispatch pipeline's verify
+// fan-out runs once per dispatched batch.
+func VerifyBatch(jobs []int) {
+	seen := make(map[int]bool) // want `make\(\) allocates on the VerifyBatch hot path`
+	for _, j := range jobs {
+		seen[j] = true
+	}
+}
+
+// dispatchBatches is bound by name: it is the dispatcher's drain loop.
+func dispatchBatches(inbox <-chan []byte) {
+	for b := range inbox {
+		_ = string(b) // want `string/\[\]byte conversion copies on the dispatchBatches hot path`
+	}
+}
+
+// popBatch is bound by name; appending into the caller's buffer is fine.
+func popBatch(q [][]byte, buf [][]byte) [][]byte {
+	return append(buf, q...)
 }
 
 //faustlint:hotpath opted in: runs per frame on the decode path
